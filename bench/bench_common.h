@@ -1,0 +1,194 @@
+// Shared benchmark infrastructure: builds the three systems (HopsFS-like,
+// InfiniFS-like, CFS and its ablation variants) at "bench scale" — the
+// paper's 50-server / 500-client testbed scaled to a single machine (see
+// EXPERIMENTS.md):
+//   - sleep-mode SimNet latency (150 us cross-node RTT, 30 us WAL fsync),
+//   - 8 physical servers, 8 TafDB shards, 8 FileStore nodes, 4 proxies,
+//   - up to ~64 client threads (each mostly blocked in simulated RPCs).
+//
+// Every bench binary prints paper-style rows; durations and client counts
+// can be scaled via env vars:
+//   CFS_BENCH_DURATION_MS (default 2000)   per measured point
+//   CFS_BENCH_CLIENTS     (default 48)     "500 concurrent clients"
+//   CFS_BENCH_LARGEDIR_FILES (default 20000)  Fig 12 population
+
+#ifndef CFS_BENCH_BENCH_COMMON_H_
+#define CFS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/baselines/hopsfs/hopsfs.h"
+#include "src/baselines/infinifs/infinifs.h"
+#include "src/core/cfs.h"
+#include "src/core/gc.h"
+#include "src/workload/traces.h"
+#include "src/workload/workload.h"
+
+namespace cfs::bench {
+
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoll(value) : fallback;
+}
+
+inline int64_t DurationMs() { return EnvInt("CFS_BENCH_DURATION_MS", 2000); }
+inline size_t Clients() {
+  return static_cast<size_t>(EnvInt("CFS_BENCH_CLIENTS", 48));
+}
+
+inline NetOptions BenchNet() {
+  NetOptions net;
+  net.mode = LatencyMode::kSleep;
+  net.cross_node_rtt_us = 150;
+  net.same_node_rtt_us = 5;
+  net.jitter_pct = 10;
+  return net;
+}
+
+inline RaftOptions BenchRaft() {
+  RaftOptions raft;
+  // Long election timeouts: benches must never see spurious elections.
+  raft.election_timeout_min_ms = 400;
+  raft.election_timeout_max_ms = 800;
+  raft.heartbeat_interval_ms = 100;
+  raft.wal.fsync_delay_us = 30;  // NVMe-class WAL flush
+  return raft;
+}
+
+inline CfsOptions BenchCfsOptions(CfsOptions base) {
+  base.num_servers = 8;
+  base.num_proxies = 4;
+  base.net = BenchNet();
+  base.tafdb.num_shards = 8;
+  // Pre-split ranges sized for balance: sequential inode ids must spread
+  // across shards (the paper's range partitioning assumes operators size
+  // ranges appropriately; a coarse stripe would pin every benchmark
+  // directory onto one shard).
+  base.tafdb.range_stripe_width = 4;
+  base.tafdb.raft = BenchRaft();
+  base.filestore.num_nodes = 8;
+  base.filestore.raft = BenchRaft();
+  base.renamer.raft = BenchRaft();
+  base.gc_interval_ms = 500;
+  return base;
+}
+
+inline BaselineOptions BenchBaselineOptions(bool hopsfs) {
+  BaselineOptions options;
+  options.num_servers = 8;
+  options.num_proxies = 4;
+  options.net = BenchNet();
+  options.tafdb.num_shards = 8;
+  options.tafdb.raft = BenchRaft();
+  options.filestore.num_nodes = 8;
+  options.filestore.raft = BenchRaft();
+  if (hopsfs) {
+    // Calibration for NDB's heavier per-row processing and lower per-node
+    // scalability relative to the key-value backends (paper §5.2: "the
+    // limited scalability of each NDB-data node").
+    options.tafdb.read_processing_us = 250;
+    options.tafdb.read_concurrency = 2;
+  }
+  return options;
+}
+
+// Type-erased running system.
+struct System {
+  std::string name;
+  std::function<std::unique_ptr<MetadataClient>()> new_client;
+  std::function<void()> stop;
+  std::function<SimNet*()> net;
+
+  std::vector<std::unique_ptr<MetadataClient>> MakeClients(size_t n) const {
+    std::vector<std::unique_ptr<MetadataClient>> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; i++) out.push_back(new_client());
+    return out;
+  }
+};
+
+inline System MakeHopsFs() {
+  auto cluster =
+      std::make_shared<HopsFsCluster>("hopsfs", BenchBaselineOptions(true));
+  Status st = cluster->Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "HopsFS start failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return System{"HopsFS",
+                [cluster] { return cluster->NewClient(); },
+                [cluster] { cluster->Stop(); },
+                [cluster] { return cluster->net(); }};
+}
+
+inline System MakeInfiniFs() {
+  auto cluster = std::make_shared<InfiniFsCluster>("infinifs",
+                                                   BenchBaselineOptions(false));
+  Status st = cluster->Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "InfiniFS start failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return System{"InfiniFS",
+                [cluster] { return cluster->NewClient(); },
+                [cluster] { cluster->Stop(); },
+                [cluster] { return cluster->net(); }};
+}
+
+inline System MakeCfs(const std::string& name, CfsOptions options) {
+  auto fs = std::make_shared<Cfs>(BenchCfsOptions(std::move(options)));
+  Status st = fs->Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s start failed: %s\n", name.c_str(),
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  return System{name,
+                [fs] { return fs->NewClient(); },
+                [fs] { fs->Stop(); },
+                [fs] { return fs->net(); }};
+}
+
+inline System MakeCfsFull() { return MakeCfs("CFS", CfsFullOptions()); }
+
+// All three systems of §5.2-§5.6.
+inline std::vector<std::function<System()>> AllSystems() {
+  return {MakeHopsFs, MakeInfiniFs, MakeCfsFull};
+}
+
+// Populates /priv<t> (one per client) and /shared with `files` each.
+inline void PreparePopulation(const System& system, size_t clients,
+                              size_t files_per_dir, size_t shared_files) {
+  auto setup = system.new_client();
+  Status st = SetupPrivateDirs(setup.get(), clients);
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  auto workers = system.MakeClients(8);
+  std::vector<MetadataClient*> raw;
+  for (auto& w : workers) raw.push_back(w.get());
+  if (files_per_dir > 0) {
+    for (size_t t = 0; t < clients; t++) {
+      (void)PopulateDirectory(raw, "/priv" + std::to_string(t),
+                              files_per_dir);
+    }
+  }
+  if (shared_files > 0) {
+    (void)PopulateDirectory(raw, "/shared", shared_files);
+  }
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace cfs::bench
+
+#endif  // CFS_BENCH_BENCH_COMMON_H_

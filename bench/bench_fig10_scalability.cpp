@@ -1,0 +1,62 @@
+// Figure 10 — scalability w.r.t. the number of concurrent clients for
+// create and getattr, no contention. Paper (50..500 clients, scaled here
+// to 8..64): CFS scales near-linearly; HopsFS flattens early; InfiniFS
+// sits between, with the CFS gap widening as clients increase.
+
+#include "bench/bench_common.h"
+
+using namespace cfs;
+using namespace cfs::bench;
+
+int main() {
+  Logger::Get().set_level(LogLevel::kWarn);
+  int64_t duration = DurationMs() / 2;
+  const std::vector<size_t> client_counts = {8, 16, 32, 48, 64};
+
+  struct Point {
+    std::string system;
+    std::vector<double> create_kops;
+    std::vector<double> getattr_kops;
+  };
+  std::vector<Point> points;
+
+  for (auto& make_system : AllSystems()) {
+    Point point;
+    for (size_t clients : client_counts) {
+      System system = make_system();
+      if (point.system.empty()) point.system = system.name;
+      std::fprintf(stderr, "[fig10] %s @ %zu clients\n", system.name.c_str(),
+                   clients);
+      PreparePopulation(system, clients, /*files_per_dir=*/64, 0);
+      {
+        WorkloadRunner runner(system.MakeClients(clients));
+        point.create_kops.push_back(
+            runner.Run(MakeCreateOp(0.0), duration, duration / 4).kops());
+      }
+      {
+        WorkloadRunner runner(system.MakeClients(clients));
+        point.getattr_kops.push_back(
+            runner.Run(MakeGetAttrOp(0.0, 64, 0), duration, duration / 4)
+                .kops());
+      }
+      system.stop();
+    }
+    points.push_back(std::move(point));
+  }
+
+  for (int which = 0; which < 2; which++) {
+    PrintHeader(which == 0
+                    ? "Figure 10(a): create throughput (Kops/s) vs clients"
+                    : "Figure 10(b): getattr throughput (Kops/s) vs clients");
+    std::printf("%-10s", "system");
+    for (size_t c : client_counts) std::printf(" %8zu", c);
+    std::printf("   scale(last/first)\n");
+    for (const auto& point : points) {
+      const auto& series = which == 0 ? point.create_kops : point.getattr_kops;
+      std::printf("%-10s", point.system.c_str());
+      for (double v : series) std::printf(" %8.1f", v);
+      std::printf(" %10.2fx\n", series.back() / series.front());
+    }
+  }
+  return 0;
+}

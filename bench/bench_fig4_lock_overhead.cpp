@@ -1,0 +1,101 @@
+// Figure 4 — the motivating experiment (§2.2): a small HopsFS deployment
+// (3 database shards) running create under increasing workload intensity
+// and contention.
+//   (a) throughput vs number of clients for contention rates 0/50/100% —
+//       near-linear scaling without contention, a flat line at 100%;
+//   (b) latency breakdown at a fixed intensity: the "Lock" share (lock
+//       acquisition/release round trips + queue waiting) grows from a
+//       substantial base to the dominant cost as contention rises.
+
+#include "bench/bench_common.h"
+#include "src/txn/lock_manager.h"
+
+using namespace cfs;
+using namespace cfs::bench;
+
+namespace {
+
+System MakeSmallHopsFs() {
+  BaselineOptions options = BenchBaselineOptions(true);
+  options.tafdb.num_shards = 3;  // the paper's 3 database instances
+  options.num_servers = 3;
+  options.num_proxies = 2;
+  auto cluster = std::make_shared<HopsFsCluster>("hopsfs-small", options);
+  Status st = cluster->Start();
+  if (!st.ok()) std::exit(1);
+  return System{"HopsFS-3shard",
+                [cluster] { return cluster->NewClient(); },
+                [cluster] { cluster->Stop(); },
+                [cluster] { return cluster->net(); }};
+}
+
+}  // namespace
+
+int main() {
+  Logger::Get().set_level(LogLevel::kWarn);
+  int64_t duration = DurationMs() / 2;
+  const std::vector<size_t> client_counts = {3, 6, 12, 24, 48};
+  const std::vector<double> contentions = {0.0, 0.5, 1.0};
+
+  // ---- (a) throughput sweep ----
+  PrintHeader("Figure 4(a): HopsFS create throughput (Kops/s)");
+  std::printf("%-8s", "clients");
+  for (double c : contentions) std::printf("  %6.0f%%", c * 100);
+  std::printf("\n");
+
+  for (size_t clients : client_counts) {
+    std::printf("%-8zu", clients);
+    for (double contention : contentions) {
+      System system = MakeSmallHopsFs();
+      PreparePopulation(system, clients, 0, 0);
+      WorkloadRunner runner(system.MakeClients(clients));
+      RunResult result =
+          runner.Run(MakeCreateOp(contention), duration, duration / 4);
+      std::printf("  %7.2f", result.kops());
+      std::fflush(stdout);
+      system.stop();
+    }
+    std::printf("\n");
+  }
+
+  // ---- (b) latency breakdown ----
+  // Custom loop so the thread-local lock-phase accumulator brackets each op.
+  PrintHeader("Figure 4(b): create latency breakdown (12 clients)");
+  std::printf("%-12s %10s %10s %10s %8s\n", "contention", "total(us)",
+              "lock(us)", "other(us)", "lock%");
+  for (double contention : contentions) {
+    System system = MakeSmallHopsFs();
+    size_t clients = 12;
+    PreparePopulation(system, clients, 0, 0);
+    auto client_objs = system.MakeClients(clients);
+    std::atomic<int64_t> total_us{0}, lock_us{0};
+    std::atomic<uint64_t> ops{0};
+    std::atomic<bool> running{true};
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < clients; t++) {
+      threads.emplace_back([&, t] {
+        Rng rng(17 * (t + 1));
+        uint64_t seq = 0;
+        auto op = MakeCreateOp(contention);
+        while (running.load(std::memory_order_relaxed)) {
+          LockManager::ResetThreadWait();
+          Stopwatch sw;
+          (void)op(client_objs[t].get(), t, seq++, rng);
+          total_us.fetch_add(sw.ElapsedMicros());
+          lock_us.fetch_add(LockManager::ThreadWaitMicros());
+          ops.fetch_add(1);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(duration));
+    running.store(false);
+    for (auto& th : threads) th.join();
+    double n = static_cast<double>(ops.load());
+    double total = total_us.load() / n;
+    double lock = lock_us.load() / n;
+    std::printf("%-12.0f %10.0f %10.0f %10.0f %7.1f%%\n", contention * 100,
+                total, lock, total - lock, 100.0 * lock / total);
+    system.stop();
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 9 — overall performance of seven metadata requests across HopsFS,
+// InfiniFS, and CFS: (a) peak throughput under high load (every client in
+// its private directory, no contention), (b) average latency under light
+// load (a single client).
+//
+// Expected shape (paper §5.2): CFS >= InfiniFS >= HopsFS for every op;
+// create/unlink close between CFS and InfiniFS (~20%); mkdir/rmdir better
+// on CFS (distributed-txn elimination); getattr/setattr much better on CFS
+// (FileStore offload); CFS create latency slightly above InfiniFS (the
+// extra FileStore RPC), unlink comparable (async write-back).
+
+#include "bench/bench_common.h"
+
+using namespace cfs;
+using namespace cfs::bench;
+
+namespace {
+
+struct OpSpec {
+  const char* name;
+  OpFn (*make)();
+};
+
+OpFn CreateOp() { return MakeCreateOp(0.0); }
+OpFn UnlinkOp() { return MakeUnlinkAfterCreateOp(0.0); }
+OpFn MkdirOp() { return MakeMkdirOp(0.0); }
+OpFn RmdirOp() { return MakeRmdirAfterMkdirOp(0.0); }
+OpFn LookupOp() { return MakeLookupOp(0.0, 64, 0); }
+OpFn GetAttrOp() { return MakeGetAttrOp(0.0, 64, 0); }
+OpFn SetAttrOp() { return MakeSetAttrOp(0.0, 64, 0); }
+
+constexpr OpSpec kOps[] = {
+    {"create", CreateOp},   {"unlink", UnlinkOp},   {"mkdir", MkdirOp},
+    {"rmdir", RmdirOp},     {"lookup", LookupOp},   {"getattr", GetAttrOp},
+    {"setattr", SetAttrOp},
+};
+
+}  // namespace
+
+int main() {
+  Logger::Get().set_level(LogLevel::kWarn);
+  size_t clients = Clients();
+  int64_t duration = DurationMs();
+
+  struct Row {
+    std::string system;
+    double kops[7];
+    double avg_us[7];
+  };
+  std::vector<Row> rows;
+
+  for (auto& make_system : AllSystems()) {
+    System system = make_system();
+    std::fprintf(stderr, "[fig9] running %s...\n", system.name.c_str());
+    PreparePopulation(system, clients, /*files_per_dir=*/64,
+                      /*shared_files=*/0);
+    Row row;
+    row.system = system.name;
+
+    // (a) peak throughput with many clients.
+    for (size_t i = 0; i < 7; i++) {
+      WorkloadRunner runner(system.MakeClients(clients));
+      RunResult result = runner.Run(kOps[i].make(), duration, duration / 4);
+      row.kops[i] = result.kops();
+    }
+    // (b) average latency with a single light client.
+    for (size_t i = 0; i < 7; i++) {
+      WorkloadRunner runner(system.MakeClients(1));
+      RunResult result =
+          runner.Run(kOps[i].make(), duration / 2, duration / 8);
+      row.avg_us[i] = result.latency.mean();
+    }
+    rows.push_back(row);
+    system.stop();
+  }
+
+  PrintHeader("Figure 9(a): peak throughput (Kops/s), " +
+              std::to_string(clients) + " clients, no contention");
+  std::printf("%-10s", "system");
+  for (const auto& op : kOps) std::printf(" %9s", op.name);
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("%-10s", row.system.c_str());
+    for (double v : row.kops) std::printf(" %9.1f", v);
+    std::printf("\n");
+  }
+
+  PrintHeader("Figure 9(b): average latency (us), single client");
+  std::printf("%-10s", "system");
+  for (const auto& op : kOps) std::printf(" %9s", op.name);
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("%-10s", row.system.c_str());
+    for (double v : row.avg_us) std::printf(" %9.0f", v);
+    std::printf("\n");
+  }
+
+  // Paper-style summary: CFS speedup over each baseline.
+  PrintHeader("CFS speedups (throughput)");
+  for (size_t s = 0; s + 1 < rows.size(); s++) {
+    std::printf("vs %-9s", rows[s].system.c_str());
+    for (size_t i = 0; i < 7; i++) {
+      std::printf(" %8.2fx", rows.back().kops[i] / rows[s].kops[i]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

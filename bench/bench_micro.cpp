@@ -1,0 +1,210 @@
+// Substrate micro-benchmarks (google-benchmark): the building blocks under
+// every table/figure bench — encoding, CRC, memtable/KV ops, primitive
+// execution, lock acquisition, SimNet dispatch, and a raft commit round in
+// zero-latency mode.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/crc32.h"
+#include "src/common/encoding.h"
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/core/metadata_client.h"
+#include "src/kv/kvstore.h"
+#include "src/raft/raft.h"
+#include "src/tafdb/primitives.h"
+#include "src/txn/lock_manager.h"
+
+namespace cfs {
+namespace {
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    std::string buf;
+    PutVarint64(&buf, 0x123456789aULL);
+    Decoder dec(buf);
+    uint64_t v;
+    dec.GetVarint64(&v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096);
+
+void BM_InodeKeyEncode(benchmark::State& state) {
+  InodeKey key = InodeKey::IdRecord(123456, "some-file-name.dat");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.Encode());
+  }
+}
+BENCHMARK(BM_InodeKeyEncode);
+
+void BM_RecordEncodeDecode(benchmark::State& state) {
+  InodeRecord rec = InodeRecord::MakeDirAttr(42, 1000, 0755, 1, 2, 7);
+  for (auto _ : state) {
+    auto decoded = InodeRecord::DecodeValue(rec.key, rec.EncodeValue());
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_RecordEncodeDecode);
+
+void BM_MemTableAdd(benchmark::State& state) {
+  MemTable mt;
+  uint64_t seq = 0;
+  Rng rng(1);
+  for (auto _ : state) {
+    mt.Add("key" + std::to_string(rng.Uniform(100000)), "value", ++seq,
+           ValueType::kPut);
+  }
+}
+BENCHMARK(BM_MemTableAdd);
+
+void BM_KvStorePutGet(benchmark::State& state) {
+  KvStore kv;
+  (void)kv.Open();
+  Rng rng(2);
+  for (auto _ : state) {
+    std::string key = "k" + std::to_string(rng.Uniform(10000));
+    (void)kv.Put(key, "payload", /*sync=*/false);
+    benchmark::DoNotOptimize(kv.Get(key));
+  }
+}
+BENCHMARK(BM_KvStorePutGet);
+
+void BM_KvStoreScan100(benchmark::State& state) {
+  KvStore kv;
+  (void)kv.Open();
+  for (int i = 0; i < 1000; i++) {
+    (void)kv.Put("scan" + std::to_string(1000 + i), "v", false);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kv.Scan("scan1100", "scan1200"));
+  }
+}
+BENCHMARK(BM_KvStoreScan100);
+
+void BM_ExecutePrimitiveCreate(benchmark::State& state) {
+  KvStore kv;
+  (void)kv.Open();
+  PrimitiveOp bootstrap;
+  bootstrap.inserts.push_back(InodeRecord::MakeDirAttr(1, 1, 0755, 0, 0));
+  (void)ExecutePrimitive(bootstrap, &kv);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    Predicate check;
+    check.key = InodeKey::AttrRecord(1);
+    check.kind = Predicate::Kind::kExistsWithType;
+    check.type = InodeType::kDirectory;
+    UpdateSpec bump;
+    bump.key = InodeKey::AttrRecord(1);
+    bump.children_delta = 1;
+    auto op = PrimitiveOp::InsertWithUpdate(
+        InodeRecord::MakeIdRecord(1, "f" + std::to_string(seq++), seq,
+                                  InodeType::kFile),
+        check, bump);
+    benchmark::DoNotOptimize(ExecutePrimitive(op, &kv));
+  }
+}
+BENCHMARK(BM_ExecutePrimitiveCreate);
+
+void BM_PrimitiveEncodeDecode(benchmark::State& state) {
+  Predicate check;
+  check.key = InodeKey::AttrRecord(1);
+  check.kind = Predicate::Kind::kExistsWithType;
+  check.type = InodeType::kDirectory;
+  UpdateSpec bump;
+  bump.key = InodeKey::AttrRecord(1);
+  bump.children_delta = 1;
+  bump.lww.mtime = 99;
+  bump.lww.ts = 99;
+  auto op = PrimitiveOp::InsertWithUpdate(
+      InodeRecord::MakeIdRecord(1, "file", 2, InodeType::kFile), check, bump);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrimitiveOp::Decode(op.Encode()));
+  }
+}
+BENCHMARK(BM_PrimitiveEncodeDecode);
+
+void BM_LockUncontended(benchmark::State& state) {
+  LockManager lm;
+  TxnId txn = 1;
+  for (auto _ : state) {
+    (void)lm.Lock(txn, "row", LockMode::kExclusive);
+    lm.Unlock(txn, "row");
+  }
+}
+BENCHMARK(BM_LockUncontended);
+
+void BM_SimNetCallZeroLatency(benchmark::State& state) {
+  SimNet net;
+  NodeId a = net.AddNode("a", 0);
+  NodeId b = net.AddNode("b", 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Call(a, b, [] { return Status::Ok(); }));
+  }
+}
+BENCHMARK(BM_SimNetCallZeroLatency);
+
+class CountingSm : public StateMachine {
+ public:
+  std::string Apply(LogIndex, std::string_view) override {
+    count++;
+    return "ok";
+  }
+  uint64_t count = 0;
+};
+
+void BM_RaftProposeCommit(benchmark::State& state) {
+  SimNet net;
+  RaftOptions options;
+  options.election_timeout_min_ms = 50;
+  options.election_timeout_max_ms = 100;
+  options.heartbeat_interval_ms = 20;
+  RaftGroup group(&net, "bench", {0, 1, 2},
+                  [](ReplicaId) { return std::make_unique<CountingSm>(); },
+                  options);
+  if (!group.Start().ok() || !group.WaitForLeader().ok()) {
+    state.SkipWithError("no leader");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = group.Propose("command");
+    if (!result.ok()) {
+      state.SkipWithError("propose failed");
+      break;
+    }
+  }
+  group.Stop();
+}
+BENCHMARK(BM_RaftProposeCommit)->Unit(benchmark::kMicrosecond);
+
+void BM_PathSplit(benchmark::State& state) {
+  std::string path = "/a/bb/ccc/dddd/eeeee/file.txt";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SplitPath(path));
+  }
+}
+BENCHMARK(BM_PathSplit);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(5);
+  for (auto _ : state) {
+    h.Record(static_cast<int64_t>(rng.Uniform(100000)));
+  }
+  benchmark::DoNotOptimize(h.P99());
+}
+BENCHMARK(BM_HistogramRecord);
+
+}  // namespace
+}  // namespace cfs
+
+BENCHMARK_MAIN();

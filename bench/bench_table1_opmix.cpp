@@ -1,0 +1,108 @@
+// Table 1 — aggregated percentage of metadata operations triggered by
+// POSIX calls across the nine production workloads (§2). Prints the
+// published shares and cross-checks them against the metadata ops the
+// three synthesized traces decompose into, plus the §2 headline that
+// metadata operations account for 67-96% of DFS requests.
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+using namespace cfs;
+using namespace cfs::bench;
+
+namespace {
+
+// Decomposes a trace's file-system mix into metadata-op shares the way
+// §3.2/§5.8 describe (stat -> lookup+getattr, open -> lookup, read ->
+// getattr, open(O_CREAT) -> lookup+create, unlink -> lookup+unlink, ...).
+std::map<std::string, double> DecomposeToMetaOps(const TraceSpec& spec) {
+  std::map<std::string, double> meta;
+  for (const auto& [op, pct] : spec.mix) {
+    switch (op) {
+      case FsOp::kStat:
+        meta["lookup"] += pct;
+        meta["getattr"] += pct;
+        break;
+      case FsOp::kOpen:
+        meta["lookup"] += pct;
+        break;
+      case FsOp::kOpenCreat:
+        meta["lookup"] += pct;
+        meta["create"] += pct;
+        break;
+      case FsOp::kRead:
+        meta["getattr"] += pct;
+        break;
+      case FsOp::kWrite:
+        meta["setattr"] += pct;
+        break;
+      case FsOp::kOpendir:
+        meta["readdir"] += pct;
+        break;
+      case FsOp::kUnlink:
+        meta["unlink"] += pct;
+        break;
+      case FsOp::kRename:
+        meta["rename"] += pct;
+        break;
+      case FsOp::kMkdir:
+        meta["mkdir"] += pct;
+        break;
+      case FsOp::kChmod:
+        meta["setattr"] += pct;
+        break;
+    }
+  }
+  double total = 0;
+  for (auto& [name, v] : meta) total += v;
+  for (auto& [name, v] : meta) v = 100.0 * v / total;
+  return meta;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 1: metadata-op shares across the nine workloads");
+  std::printf("%-10s %8s\n", "op", "ratio");
+  double total = 0;
+  for (const auto& share : Table1OpShares()) {
+    std::printf("%-10s %7.2f%%\n", share.op.c_str(), share.ratio);
+    total += share.ratio;
+  }
+  std::printf("%-10s %7.2f%%\n", "total", total);
+
+  PrintHeader("Cross-check: metadata decomposition of the three traces");
+  std::printf("%-10s", "op");
+  auto traces = AllTraces();
+  std::vector<std::map<std::string, double>> decomposed;
+  for (const auto& spec : traces) {
+    std::printf(" %8s", spec.name.c_str());
+    decomposed.push_back(DecomposeToMetaOps(spec));
+  }
+  std::printf("\n");
+  for (const char* op : {"getattr", "lookup", "create", "unlink", "setattr",
+                         "readdir", "mkdir", "rename"}) {
+    std::printf("%-10s", op);
+    for (auto& meta : decomposed) {
+      std::printf(" %7.1f%%", meta.count(op) != 0 ? meta[op] : 0.0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n(getattr dominates everywhere — the access pattern the tiered\n"
+      "metadata organization optimizes; paper Table 3 lists 95.1/63.2/66.8%%\n"
+      "getattr for tr-0/1/2.)\n");
+
+  PrintHeader("Section 2 headline: metadata vs data operations");
+  for (const auto& spec : traces) {
+    double data_pct = 0;
+    for (const auto& [op, pct] : spec.mix) {
+      if (op == FsOp::kRead || op == FsOp::kWrite) data_pct += pct;
+    }
+    std::printf("%s: metadata %.1f%% / data %.1f%%\n", spec.name.c_str(),
+                100.0 - data_pct, data_pct);
+  }
+  std::printf("(paper: metadata ops are 67-96%% of DFS requests)\n");
+  return 0;
+}

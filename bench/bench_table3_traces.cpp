@@ -1,0 +1,31 @@
+// Table 3 — operation compositions of the three real-world traces: the
+// published file-system-op mixes driving the synthesis, verified against
+// an empirical sample of the generator's WeightedChoice stream.
+
+#include "bench/bench_common.h"
+
+using namespace cfs;
+using namespace cfs::bench;
+
+int main() {
+  PrintHeader("Table 3: file-system-op composition of tr-0 / tr-1 / tr-2");
+  for (const auto& spec : AllTraces()) {
+    std::printf("%s:\n", spec.name.c_str());
+
+    // Empirical sample of the generator.
+    std::vector<double> weights;
+    for (const auto& [op, pct] : spec.mix) weights.push_back(pct);
+    WeightedChoice choice(weights);
+    Rng rng(7777);
+    constexpr int kSamples = 500000;
+    std::vector<int> counts(spec.mix.size(), 0);
+    for (int i = 0; i < kSamples; i++) counts[choice.Next(rng)]++;
+
+    for (size_t i = 0; i < spec.mix.size(); i++) {
+      std::printf("  %-14s published %5.1f%%   synthesized %5.1f%%\n",
+                  std::string(FsOpName(spec.mix[i].first)).c_str(),
+                  spec.mix[i].second, 100.0 * counts[i] / kSamples);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// ML training example — the workload class the paper's introduction
+// motivates: millions of tiny sample files, metadata operations dominating
+// (67-96% of requests in Baidu's production traces), data access fast once
+// attributes resolve.
+//
+// Phase 1 ingests a labelled dataset of small sample files (sizes drawn
+// from the tr-1 file-size distribution). Phase 2 runs training epochs:
+// every worker stats and reads random samples — a getattr/read-heavy loop
+// whose metadata half lands on FileStore's hash-partitioned attribute tier.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/core/cfs.h"
+#include "src/core/gc.h"
+#include "src/workload/traces.h"
+
+int main() {
+  using namespace cfs;
+
+  constexpr size_t kClasses = 8;
+  constexpr size_t kSamplesPerClass = 100;
+  constexpr size_t kWorkers = 4;
+  constexpr int kEpochs = 2;
+
+  CfsOptions options = CfsFullOptions();
+  options.num_servers = 6;
+  options.tafdb.num_shards = 2;
+  options.filestore.num_nodes = 4;
+  Cfs fs(options);
+  if (!fs.Start().ok()) return 1;
+
+  auto spec = TraceTr1();  // small-file size distribution of Fig 14
+
+  // ---- Phase 1: dataset ingestion ----
+  auto setup = fs.NewClient();
+  (void)setup->Mkdir("/dataset", 0755);
+  for (size_t c = 0; c < kClasses; c++) {
+    (void)setup->Mkdir("/dataset/class" + std::to_string(c), 0755);
+  }
+  Stopwatch ingest_watch;
+  std::vector<std::thread> ingesters;
+  std::atomic<uint64_t> ingested{0};
+  std::atomic<uint64_t> bytes{0};
+  for (size_t w = 0; w < kWorkers; w++) {
+    ingesters.emplace_back([&, w] {
+      auto client = fs.NewClient();
+      Rng rng(1234 + w);
+      for (size_t c = w; c < kClasses; c += kWorkers) {
+        for (size_t s = 0; s < kSamplesPerClass; s++) {
+          std::string path = "/dataset/class" + std::to_string(c) +
+                             "/sample" + std::to_string(s) + ".bin";
+          if (!client->Create(path, 0644).ok()) continue;
+          size_t size = std::min<uint64_t>(
+              SampleSize(spec.file_size_cdf, rng), 4096);
+          if (client->Write(path, 0, std::string(size, 'd')).ok()) {
+            ingested++;
+            bytes += size;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : ingesters) t.join();
+  std::printf("ingested %llu samples (%.1f KiB) in %.2fs (%.0f files/s)\n",
+              static_cast<unsigned long long>(ingested.load()),
+              bytes.load() / 1024.0, ingest_watch.ElapsedSeconds(),
+              ingested.load() / ingest_watch.ElapsedSeconds());
+
+  // ---- Phase 2: training epochs (stat + read loop) ----
+  for (int epoch = 0; epoch < kEpochs; epoch++) {
+    Stopwatch epoch_watch;
+    std::atomic<uint64_t> reads{0};
+    std::vector<std::thread> workers;
+    for (size_t w = 0; w < kWorkers; w++) {
+      workers.emplace_back([&, w] {
+        auto client = fs.NewClient();
+        Rng rng(999 * (epoch + 1) + w);
+        for (size_t step = 0; step < kClasses * kSamplesPerClass / kWorkers;
+             step++) {
+          size_t c = rng.Uniform(kClasses);
+          size_t s = rng.Uniform(kSamplesPerClass);
+          std::string path = "/dataset/class" + std::to_string(c) +
+                             "/sample" + std::to_string(s) + ".bin";
+          auto info = client->GetAttr(path);  // stat before read (§3.2)
+          if (!info.ok()) continue;
+          if (client->Read(path, 0, static_cast<size_t>(info->size)).ok()) {
+            reads++;
+          }
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    std::printf("epoch %d: %llu sample reads in %.2fs (%.0f samples/s)\n",
+                epoch,
+                static_cast<unsigned long long>(reads.load()),
+                epoch_watch.ElapsedSeconds(),
+                reads.load() / epoch_watch.ElapsedSeconds());
+  }
+
+  // The attribute traffic spread across every FileStore node (tiered
+  // metadata), not one namespace shard:
+  for (size_t n = 0; n < fs.filestore()->num_nodes(); n++) {
+    std::printf("filestore node %zu served %llu rpcs\n", n,
+                static_cast<unsigned long long>(fs.net()->CallsTo(
+                    fs.filestore()->node(n)->ServiceNetId())));
+  }
+
+  fs.Stop();
+  return 0;
+}

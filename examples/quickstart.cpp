@@ -1,0 +1,80 @@
+// Quickstart: boot an in-process CFS cluster (TafDB + FileStore + Renamer +
+// GC, all raft-replicated) and walk through the public API — the metadata
+// operations of the paper plus the data path and the POSIX adapter.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/cfs.h"
+#include "src/core/gc.h"
+#include "src/core/posix.h"
+
+int main() {
+  using namespace cfs;
+
+  // 1. Assemble the cluster. CfsFullOptions() enables all three paper
+  //    optimizations: tiered attributes, single-shard atomic primitives,
+  //    and client-side metadata resolving.
+  CfsOptions options = CfsFullOptions();
+  options.num_servers = 6;
+  options.tafdb.num_shards = 2;
+  options.filestore.num_nodes = 2;
+  Cfs fs(options);
+  if (Status st = fs.Start(); !st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("cluster up: %zu TafDB shards, %zu FileStore nodes\n",
+              fs.tafdb()->num_shards(), fs.filestore()->num_nodes());
+
+  // 2. Metadata operations via the client library.
+  auto client = fs.NewClient();
+  (void)client->Mkdir("/projects", 0755);
+  (void)client->Mkdir("/projects/cfs", 0755);
+  (void)client->Create("/projects/cfs/paper.tex", 0644);
+  (void)client->Symlink("/projects/cfs/paper.tex", "/projects/latest");
+
+  auto info = client->GetAttr("/projects/cfs/paper.tex");
+  std::printf("created file: inode=%llu mode=%o links=%lld\n",
+              static_cast<unsigned long long>(info->id), info->mode,
+              static_cast<long long>(info->links));
+
+  // 3. Data path: blocks live in FileStore next to the file's attributes.
+  (void)client->Write("/projects/cfs/paper.tex", 0,
+                      "\\title{Pruned Scope of Critical Sections}");
+  auto content = client->Read("/projects/cfs/paper.tex", 0, 64);
+  std::printf("read back: %s\n", content->c_str());
+
+  // 4. Rename fast path (same directory, file-to-file: one single-shard
+  //    atomic primitive, no Renamer round trip) and normal path.
+  (void)client->Rename("/projects/cfs/paper.tex", "/projects/cfs/camera.tex");
+  (void)client->Mkdir("/archive", 0755);
+  (void)client->Rename("/projects/cfs", "/archive/cfs-eurosys23");
+  std::printf("renamer handled %llu normal-path renames\n",
+              static_cast<unsigned long long>(fs.renamer()->stats().committed));
+
+  auto entries = client->ReadDir("/archive/cfs-eurosys23");
+  std::printf("archive listing (%zu entries):\n", entries->size());
+  for (const auto& e : *entries) {
+    std::printf("  %-16s inode=%llu%s\n", e.name.c_str(),
+                static_cast<unsigned long long>(e.id),
+                e.type == InodeType::kDirectory ? "/" : "");
+  }
+
+  // 5. The POSIX-style adapter (the VFS-facing surface of §3.2).
+  PosixFs posix(fs.NewClient());
+  int fd = posix.Open("/archive/cfs-eurosys23/notes.txt", kOCreat, 0600);
+  posix.PWrite(fd, "single-shard primitives prune critical sections", 0);
+  StatBuf st;
+  posix.Stat("/archive/cfs-eurosys23/notes.txt", &st);
+  std::printf("posix stat: ino=%llu size=%lld mode=%o\n",
+              static_cast<unsigned long long>(st.ino),
+              static_cast<long long>(st.size), st.mode);
+  posix.Close(fd);
+
+  fs.Stop();
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates every paper table/figure. Knobs:
+#   CFS_BENCH_DURATION_MS (default 2000), CFS_BENCH_CLIENTS (default 48),
+#   CFS_BENCH_LARGEDIR_FILES (default 20000).
+set -e
+cd "$(dirname "$0")"
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "##### $(basename "$b") #####"
+  "$b"
+  echo
+done

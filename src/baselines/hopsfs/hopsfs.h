@@ -1,0 +1,64 @@
+// HopsFS-like baseline (Niazi et al., FAST'17), modelled after the cost
+// profile the paper measures (§2.2, Figures 2-4):
+//
+//   - single inodes table: a dentry row <parent_id, name> carries the FULL
+//     attributes of the child inline (id, type, children, mode, times, ...);
+//     the root's attributes live in the reserved <root, "/_ATTR"> row;
+//   - hash-of-kID partitioning: a directory's dentries colocate on
+//     hash(dir), but a directory's own attribute row lives with ITS parent
+//     — so create/mkdir/unlink/rmdir are cross-shard transactions;
+//   - every mutation is a lock-based transaction: exclusive row locks
+//     acquired up front (Figure 3 step 2) and held across the interactive
+//     reads, the buffered writes, and the two-phase commit;
+//   - rename uses coarse SUBTREE locks (serialized on the root shard's lock
+//     manager), the mechanism §5.6 blames for HopsFS's rename ceiling;
+//   - HDFS semantics: no hard links (Link returns kUnimplemented).
+
+#ifndef CFS_BASELINES_HOPSFS_HOPSFS_H_
+#define CFS_BASELINES_HOPSFS_HOPSFS_H_
+
+#include "src/baselines/baseline_common.h"
+
+namespace cfs {
+
+class HopsFsEngine : public BaselineEngineBase {
+ public:
+  HopsFsEngine(SimNet* net, NodeId self, TafDbCluster* tafdb,
+               FileStoreCluster* filestore, int64_t lock_timeout_us)
+      : BaselineEngineBase(net, self, tafdb, filestore, lock_timeout_us) {}
+
+  static Status BootstrapRoot(TafDbCluster*) { return Status::Ok(); }
+
+  Status Mkdir(const std::string& path, uint32_t mode) override;
+  Status Rmdir(const std::string& path) override;
+  Status Create(const std::string& path, uint32_t mode) override;
+  Status Unlink(const std::string& path) override;
+  StatusOr<FileInfo> Lookup(const std::string& path) override;
+  StatusOr<FileInfo> GetAttr(const std::string& path) override;
+  Status SetAttr(const std::string& path, const SetAttrSpec& spec) override;
+  StatusOr<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Symlink(const std::string& target,
+                 const std::string& link_path) override;
+  StatusOr<std::string> ReadLink(const std::string& path) override;
+  Status Link(const std::string& existing,
+              const std::string& link_path) override;
+  Status Write(const std::string& path, uint64_t offset,
+               const std::string& data) override;
+  StatusOr<std::string> Read(const std::string& path, uint64_t offset,
+                             size_t length) override;
+
+ private:
+  // The row holding a directory's own attributes: its dentry row at its
+  // parent, or the root attribute row.
+  StatusOr<InodeKey> DirAttrRowKey(const std::string& dir_path);
+
+  // Creation core shared by Create / Mkdir / Symlink.
+  Status InsertInode(const std::string& path, InodeRecord row);
+};
+
+using HopsFsCluster = BaselineCluster<HopsFsEngine>;
+
+}  // namespace cfs
+
+#endif  // CFS_BASELINES_HOPSFS_HOPSFS_H_

@@ -1,0 +1,77 @@
+// InfiniFS-like baseline (Lv et al., FAST'22), reimplemented the way the
+// CFS paper did (§5.1), with the cost profile §5.2-5.7 compares against:
+//
+//   - directory metadata split into ACCESS and CONTENT parts: a dentry row
+//     <parent, name> carries the access attributes inline (grouped with the
+//     parent — "locality-aware grouping"), while a directory's content
+//     record <id, "/_ATTR"> (children count) lives on its own id's shard;
+//   - file attributes are inline in the dentry row, i.e. grouped with the
+//     parent directory — which is why a huge shared directory's getattr
+//     load lands on a single shard (Fig 12);
+//   - create/unlink are SINGLE-SHARD lock-based transactions (its ad-hoc
+//     distributed-transaction elimination), but mkdir/rmdir and normal
+//     renames still need 2PC across the parent's and the directory's own
+//     shards (§5.4: "both HopsFS and InfiniFS adopt 2PC for mkdir");
+//   - rename goes through lock-based transactions; intra-directory file
+//     renames are single-shard but still pay lock + interactive round
+//     trips (what CFS's fast-path primitive removes, §5.6).
+
+#ifndef CFS_BASELINES_INFINIFS_INFINIFS_H_
+#define CFS_BASELINES_INFINIFS_INFINIFS_H_
+
+#include <functional>
+
+#include "src/baselines/baseline_common.h"
+
+namespace cfs {
+
+class InfiniFsEngine : public BaselineEngineBase {
+ public:
+  InfiniFsEngine(SimNet* net, NodeId self, TafDbCluster* tafdb,
+                 FileStoreCluster* filestore, int64_t lock_timeout_us)
+      : BaselineEngineBase(net, self, tafdb, filestore, lock_timeout_us) {}
+
+  static Status BootstrapRoot(TafDbCluster*) { return Status::Ok(); }
+
+  Status Mkdir(const std::string& path, uint32_t mode) override;
+  Status Rmdir(const std::string& path) override;
+  Status Create(const std::string& path, uint32_t mode) override;
+  Status Unlink(const std::string& path) override;
+  StatusOr<FileInfo> Lookup(const std::string& path) override;
+  StatusOr<FileInfo> GetAttr(const std::string& path) override;
+  Status SetAttr(const std::string& path, const SetAttrSpec& spec) override;
+  StatusOr<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Symlink(const std::string& target,
+                 const std::string& link_path) override;
+  StatusOr<std::string> ReadLink(const std::string& path) override;
+  Status Link(const std::string& existing,
+              const std::string& link_path) override;
+  Status Write(const std::string& path, uint64_t offset,
+               const std::string& data) override;
+  StatusOr<std::string> Read(const std::string& path, uint64_t offset,
+                             size_t length) override;
+
+ private:
+  // The record carrying a directory's children count ("content" part): the
+  // root uses the bootstrap record, everyone else <id, "/_ATTR">.
+  static InodeKey ContentKey(InodeId dir) { return InodeKey::AttrRecord(dir); }
+
+  Status InsertInode(const std::string& path, InodeRecord row);
+
+  // InfiniFS co-locates each MDS with its database shard, so a
+  // single-group transaction's critical section runs entirely server-side:
+  // one RPC to the shard, with the row locks spanning only local reads and
+  // the replicated commit — NOT client-side network round trips. This is
+  // its ad-hoc distributed-transaction elimination; cross-group operations
+  // (mkdir/rmdir/cross-directory rename) still pay coordinator-held locks
+  // plus 2PC.
+  Status ServerSideTxn(InodeId group,
+                       const std::function<Status(TafDbShard*)>& body);
+};
+
+using InfiniFsCluster = BaselineCluster<InfiniFsEngine>;
+
+}  // namespace cfs
+
+#endif  // CFS_BASELINES_INFINIFS_INFINIFS_H_

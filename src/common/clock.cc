@@ -1,0 +1,10 @@
+#include "src/common/clock.h"
+
+namespace cfs {
+
+RealClock* RealClock::Get() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace cfs

@@ -1,0 +1,65 @@
+// Clock abstraction: production code uses the steady RealClock; tests that
+// exercise timeouts and GC periods use ManualClock to advance time
+// deterministically.
+
+#ifndef CFS_COMMON_CLOCK_H_
+#define CFS_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cfs {
+
+// Monotonic nanoseconds since an arbitrary epoch.
+using MonoNanos = int64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual MonoNanos NowNanos() const = 0;
+  int64_t NowMicros() const { return NowNanos() / 1000; }
+};
+
+class RealClock : public Clock {
+ public:
+  static RealClock* Get();
+  MonoNanos NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(MonoNanos start = 0) : now_(start) {}
+  MonoNanos NowNanos() const override { return now_.load(); }
+  void AdvanceNanos(MonoNanos delta) { now_.fetch_add(delta); }
+  void AdvanceMicros(int64_t micros) { AdvanceNanos(micros * 1000); }
+  void SetNanos(MonoNanos t) { now_.store(t); }
+
+ private:
+  std::atomic<MonoNanos> now_;
+};
+
+// Simple stopwatch over a Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock = RealClock::Get())
+      : clock_(clock), start_(clock->NowNanos()) {}
+  void Reset() { start_ = clock_->NowNanos(); }
+  MonoNanos ElapsedNanos() const { return clock_->NowNanos() - start_; }
+  int64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  const Clock* clock_;
+  MonoNanos start_;
+};
+
+}  // namespace cfs
+
+#endif  // CFS_COMMON_CLOCK_H_

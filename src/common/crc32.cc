@@ -1,0 +1,38 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace cfs {
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78;  // reversed CRC32C polynomial
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; k++) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data, uint32_t seed) {
+  const auto& table = Table();
+  uint32_t crc = ~seed;
+  for (unsigned char c : data) {
+    crc = table[(crc ^ c) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace cfs

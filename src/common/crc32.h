@@ -1,0 +1,15 @@
+// Software CRC32C (Castagnoli) used to checksum WAL records.
+
+#ifndef CFS_COMMON_CRC32_H_
+#define CFS_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cfs {
+
+uint32_t Crc32c(std::string_view data, uint32_t seed = 0);
+
+}  // namespace cfs
+
+#endif  // CFS_COMMON_CRC32_H_

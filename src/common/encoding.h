@@ -1,0 +1,117 @@
+// Binary record encoding used by the WAL, the KV store, and raft messages:
+// little-endian fixed ints, LEB128 varints, and length-prefixed strings.
+// Decoding is cursor-based and returns false on truncated input instead of
+// throwing, so corrupt tails of a WAL can be detected and discarded.
+
+#ifndef CFS_COMMON_ENCODING_H_
+#define CFS_COMMON_ENCODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace cfs {
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+inline void PutVarint32(std::string* dst, uint32_t v) {
+  PutVarint64(dst, v);
+}
+
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+// Cursor over an immutable byte buffer.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  bool GetFixed32(uint32_t* v) {
+    if (data_.size() < 4) return false;
+    std::memcpy(v, data_.data(), 4);
+    data_.remove_prefix(4);
+    return true;
+  }
+
+  bool GetFixed64(uint64_t* v) {
+    if (data_.size() < 8) return false;
+    std::memcpy(v, data_.data(), 8);
+    data_.remove_prefix(8);
+    return true;
+  }
+
+  bool GetVarint64(uint64_t* v) {
+    uint64_t result = 0;
+    int shift = 0;
+    size_t i = 0;
+    while (i < data_.size() && shift <= 63) {
+      unsigned char byte = static_cast<unsigned char>(data_[i]);
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      i++;
+      if ((byte & 0x80) == 0) {
+        data_.remove_prefix(i);
+        *v = result;
+        return true;
+      }
+      shift += 7;
+    }
+    return false;
+  }
+
+  bool GetVarint32(uint32_t* v) {
+    uint64_t x;
+    if (!GetVarint64(&x) || x > UINT32_MAX) return false;
+    *v = static_cast<uint32_t>(x);
+    return true;
+  }
+
+  bool GetLengthPrefixed(std::string_view* out) {
+    uint64_t len;
+    if (!GetVarint64(&len) || data_.size() < len) return false;
+    *out = data_.substr(0, len);
+    data_.remove_prefix(len);
+    return true;
+  }
+
+  bool GetLengthPrefixed(std::string* out) {
+    std::string_view sv;
+    if (!GetLengthPrefixed(&sv)) return false;
+    out->assign(sv.data(), sv.size());
+    return true;
+  }
+
+  bool empty() const { return data_.empty(); }
+  size_t remaining() const { return data_.size(); }
+  std::string_view rest() const { return data_; }
+
+ private:
+  std::string_view data_;
+};
+
+}  // namespace cfs
+
+#endif  // CFS_COMMON_ENCODING_H_

@@ -1,0 +1,37 @@
+// Hash helpers: FNV-1a for partitioning decisions (stable across runs,
+// independent of std::hash implementation details).
+
+#ifndef CFS_COMMON_HASH_H_
+#define CFS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cfs {
+
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashU64(uint64_t x) {
+  // Finalizer from splitmix64; good avalanche for partitioning inode ids.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace cfs
+
+#endif  // CFS_COMMON_HASH_H_

@@ -1,0 +1,131 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cfs {
+namespace {
+
+constexpr int64_t kLinearMax = 1000;   // 1 ms in 10 us steps
+constexpr int64_t kLinearStep = 10;
+constexpr int64_t kCeiling = 100LL * 1000 * 1000;  // 100 s
+
+std::vector<int64_t> BuildBounds() {
+  std::vector<int64_t> bounds;
+  for (int64_t b = kLinearStep; b <= kLinearMax; b += kLinearStep) {
+    bounds.push_back(b);
+  }
+  double v = static_cast<double>(kLinearMax);
+  while (v < static_cast<double>(kCeiling)) {
+    v *= 1.25;
+    bounds.push_back(static_cast<int64_t>(v));
+  }
+  bounds.push_back(INT64_MAX);
+  return bounds;
+}
+
+const std::vector<int64_t>& Bounds() {
+  static const std::vector<int64_t> bounds = BuildBounds();
+  return bounds;
+}
+
+}  // namespace
+
+Histogram::Histogram() : bounds_(Bounds()) {
+  buckets_.assign(bounds_.size(), 0);
+}
+
+size_t Histogram::BucketFor(int64_t v) const {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<size_t>(it - bounds_.begin());
+}
+
+int64_t Histogram::BucketUpper(size_t index) const { return bounds_[index]; }
+
+void Histogram::Record(int64_t value_us) {
+  if (value_us < 0) value_us = 0;
+  buckets_[BucketFor(value_us)]++;
+  count_++;
+  sum_ += value_us;
+  max_ = std::max(max_, value_us);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = max_ = 0;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(count_));
+  if (rank >= count_) rank = count_ - 1;
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      return std::min(BucketUpper(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.1fus p50=%lldus p99=%lldus p999=%lldus max=%lldus",
+                static_cast<long long>(count_), mean(),
+                static_cast<long long>(P50()), static_cast<long long>(P99()),
+                static_cast<long long>(P999()), static_cast<long long>(max_));
+  return buf;
+}
+
+StripedHistogram::StripedHistogram(size_t stripes) {
+  stripes_.resize(stripes);
+  for (auto& s : stripes_) {
+    s.h = std::make_unique<Histogram>();
+    s.lock = std::make_unique<std::atomic_flag>();
+  }
+}
+
+void StripedHistogram::Record(size_t thread_index, int64_t value_us) {
+  auto& s = stripes_[thread_index % stripes_.size()];
+  while (s.lock->test_and_set(std::memory_order_acquire)) {
+  }
+  s.h->Record(value_us);
+  s.lock->clear(std::memory_order_release);
+}
+
+Histogram StripedHistogram::Aggregate() const {
+  Histogram out;
+  for (const auto& s : stripes_) {
+    while (s.lock->test_and_set(std::memory_order_acquire)) {
+    }
+    out.Merge(*s.h);
+    s.lock->clear(std::memory_order_release);
+  }
+  return out;
+}
+
+void StripedHistogram::Reset() {
+  for (auto& s : stripes_) {
+    while (s.lock->test_and_set(std::memory_order_acquire)) {
+    }
+    s.h->Reset();
+    s.lock->clear(std::memory_order_release);
+  }
+}
+
+}  // namespace cfs

@@ -1,0 +1,66 @@
+// Log-bucketed latency histogram with percentile queries (P50/P99/P999) and
+// a thread-striped wrapper so many client threads can record without a
+// shared cache line. Values are in microseconds.
+
+#ifndef CFS_COMMON_HISTOGRAM_H_
+#define CFS_COMMON_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cfs {
+
+class Histogram {
+ public:
+  // Buckets: 0..kLinearMax in steps of kLinearStep, then x1.25 geometric.
+  Histogram();
+
+  void Record(int64_t value_us);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  int64_t max() const { return max_; }
+  int64_t Percentile(double p) const;  // p in (0, 100)
+  int64_t P50() const { return Percentile(50); }
+  int64_t P99() const { return Percentile(99); }
+  int64_t P999() const { return Percentile(99.9); }
+
+  std::string Summary() const;
+
+ private:
+  size_t BucketFor(int64_t v) const;
+  int64_t BucketUpper(size_t index) const;
+
+  std::vector<int64_t> buckets_;
+  std::vector<int64_t> bounds_;
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t max_ = 0;
+};
+
+// Per-thread histogram shards; call Aggregate() after the workload quiesces.
+class StripedHistogram {
+ public:
+  explicit StripedHistogram(size_t stripes = 64);
+
+  // thread_index need not be dense; it is folded onto the stripe count.
+  void Record(size_t thread_index, int64_t value_us);
+  Histogram Aggregate() const;
+  void Reset();
+
+ private:
+  struct Stripe {
+    std::unique_ptr<Histogram> h;
+    std::unique_ptr<std::atomic_flag> lock;
+  };
+  std::vector<Stripe> stripes_;
+};
+
+}  // namespace cfs
+
+#endif  // CFS_COMMON_HISTOGRAM_H_

@@ -1,0 +1,49 @@
+// LoadGate — models finite server-side processing capacity for read paths.
+//
+// Raft serializes writes through the log, so write-side queueing emerges
+// naturally; reads against a leader have no such queue in a passive-object
+// simulation. A LoadGate charges each read a processing cost and bounds
+// concurrent readers per node, so a hot shard (e.g. every client stat-ing
+// files of one huge directory, Fig 12) saturates and queues while a
+// hash-partitioned attribute service spreads the same load across nodes.
+//
+// Disabled (zero cost) when processing_us == 0; callers also skip it in
+// zero-latency test mode.
+
+#ifndef CFS_COMMON_LOAD_GATE_H_
+#define CFS_COMMON_LOAD_GATE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <semaphore>
+#include <thread>
+
+namespace cfs {
+
+class LoadGate {
+ public:
+  LoadGate(size_t concurrency, int64_t processing_us)
+      : sem_(static_cast<std::ptrdiff_t>(
+            concurrency == 0 ? 1 : concurrency)),
+        processing_us_(processing_us) {}
+
+  LoadGate(const LoadGate&) = delete;
+  LoadGate& operator=(const LoadGate&) = delete;
+
+  // Charges one request's processing: waits for a slot, holds it for the
+  // processing duration, releases.
+  void Charge() const {
+    if (processing_us_ <= 0) return;
+    sem_.acquire();
+    std::this_thread::sleep_for(std::chrono::microseconds(processing_us_));
+    sem_.release();
+  }
+
+ private:
+  mutable std::counting_semaphore<4096> sem_;
+  int64_t processing_us_;
+};
+
+}  // namespace cfs
+
+#endif  // CFS_COMMON_LOAD_GATE_H_

@@ -1,0 +1,49 @@
+#include "src/common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace cfs {
+namespace {
+
+std::mutex g_log_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+
+std::string_view Basename(std::string_view path) {
+  auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, std::string_view file, int line,
+                   std::string_view message) {
+  using namespace std::chrono;
+  auto now = duration_cast<microseconds>(
+                 system_clock::now().time_since_epoch())
+                 .count();
+  std::string_view base = Basename(file);
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "%s %lld.%06lld %.*s:%d] %.*s\n", LevelTag(level),
+               static_cast<long long>(now / 1000000),
+               static_cast<long long>(now % 1000000),
+               static_cast<int>(base.size()), base.data(), line,
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace cfs

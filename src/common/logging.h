@@ -1,0 +1,59 @@
+// Minimal leveled logger. Thread-safe, stderr-backed, level-filtered at
+// runtime. Benchmarks set the level to kWarn to keep the hot path quiet.
+
+#ifndef CFS_COMMON_LOGGING_H_
+#define CFS_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace cfs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_.store(static_cast<int>(level)); }
+  LogLevel level() const { return static_cast<LogLevel>(level_.load()); }
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load();
+  }
+
+  void Write(LogLevel level, std::string_view file, int line,
+             std::string_view message);
+
+ private:
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+};
+
+// Stream-style log statement builder; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Get().Write(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace cfs
+
+#define CFS_LOG(level)                                              \
+  if (!::cfs::Logger::Get().Enabled(::cfs::LogLevel::level)) {      \
+  } else                                                            \
+    ::cfs::LogMessage(::cfs::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // CFS_COMMON_LOGGING_H_

@@ -1,0 +1,140 @@
+// Fast deterministic PRNG (splitmix64 / xoshiro256**) plus the distribution
+// helpers the workload generators need (uniform, Zipfian, weighted choice).
+
+#ifndef CFS_COMMON_RANDOM_H_
+#define CFS_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cfs {
+
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eedULL) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(hi >= lo);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+// Zipf-distributed generator over [0, n). Uses the classic rejection-free
+// inverse-CDF approximation (Gray et al.) so setup is O(1).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta) {
+    assert(n > 0);
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next(Rng& rng) {
+    double u = rng.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    // Cap the exact sum; beyond the cap the tail contribution is negligible
+    // for the directory sizes used in the benches.
+    uint64_t limit = n < 1000000 ? n : 1000000;
+    for (uint64_t i = 1; i <= limit; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+// Picks an index with probability proportional to the provided weights.
+class WeightedChoice {
+ public:
+  explicit WeightedChoice(std::vector<double> weights)
+      : cumulative_(std::move(weights)) {
+    double total = 0;
+    for (auto& w : cumulative_) {
+      total += w;
+      w = total;
+    }
+    total_ = total;
+  }
+
+  size_t Next(Rng& rng) const {
+    double x = rng.NextDouble() * total_;
+    size_t lo = 0, hi = cumulative_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] <= x) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < cumulative_.size() ? lo : cumulative_.size() - 1;
+  }
+
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+  double total_ = 0;
+};
+
+}  // namespace cfs
+
+#endif  // CFS_COMMON_RANDOM_H_

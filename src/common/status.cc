@@ -1,0 +1,42 @@
+#include "src/common/status.h"
+
+namespace cfs {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kNotADirectory: return "NOT_A_DIRECTORY";
+    case ErrorCode::kIsADirectory: return "IS_A_DIRECTORY";
+    case ErrorCode::kNotEmpty: return "NOT_EMPTY";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kCrossDevice: return "CROSS_DEVICE";
+    case ErrorCode::kConflict: return "CONFLICT";
+    case ErrorCode::kAborted: return "ABORTED";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kNotLeader: return "NOT_LEADER";
+    case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kCorruption: return "CORRUPTION";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace cfs

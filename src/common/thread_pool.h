@@ -1,0 +1,51 @@
+// Fixed-size worker pool with a bounded-growth task queue. Used by raft
+// groups for applying entries off the RPC path and by the GC for background
+// scans.
+
+#ifndef CFS_COMMON_THREAD_POOL_H_
+#define CFS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cfs {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task; returns false after Shutdown().
+  bool Submit(std::function<void()> task);
+
+  // Blocks until the queue drains and all in-flight tasks finish.
+  void Wait();
+
+  // Stops accepting tasks, drains the queue, joins workers.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::string name_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace cfs
+
+#endif  // CFS_COMMON_THREAD_POOL_H_

@@ -1,0 +1,186 @@
+#include "src/core/cfs.h"
+
+#include "src/common/logging.h"
+#include "src/core/gc.h"
+
+namespace cfs {
+
+CfsOptions CfsBaseOptions() {
+  CfsOptions options;
+  options.tiered_attrs = false;
+  options.primitives = false;
+  options.client_resolving = false;
+  return options;
+}
+
+CfsOptions CfsNewOrgOptions() {
+  CfsOptions options = CfsBaseOptions();
+  options.tiered_attrs = true;
+  return options;
+}
+
+CfsOptions CfsPrimitivesOptions() {
+  CfsOptions options = CfsNewOrgOptions();
+  options.primitives = true;
+  return options;
+}
+
+CfsOptions CfsFullOptions() {
+  CfsOptions options = CfsPrimitivesOptions();
+  options.client_resolving = true;
+  return options;
+}
+
+namespace {
+
+// Thin client used in proxy mode: every operation is one extra RPC hop to a
+// metadata proxy node, where a server-side engine resolves and executes it
+// (the architecture CFS's client-side metadata resolving removes, §3.1).
+class ProxyClientStub : public MetadataClient {
+ public:
+  ProxyClientStub(Cfs* fs, NodeId client_node, size_t proxy_index)
+      : fs_(fs), self_(client_node), proxy_index_(proxy_index) {}
+
+  Status Mkdir(const std::string& path, uint32_t mode) override {
+    return Forward([&](CfsEngine* e) { return e->Mkdir(path, mode); });
+  }
+  Status Rmdir(const std::string& path) override {
+    return Forward([&](CfsEngine* e) { return e->Rmdir(path); });
+  }
+  Status Create(const std::string& path, uint32_t mode) override {
+    return Forward([&](CfsEngine* e) { return e->Create(path, mode); });
+  }
+  Status Unlink(const std::string& path) override {
+    return Forward([&](CfsEngine* e) { return e->Unlink(path); });
+  }
+  StatusOr<FileInfo> Lookup(const std::string& path) override {
+    return ForwardOr<FileInfo>([&](CfsEngine* e) { return e->Lookup(path); });
+  }
+  StatusOr<FileInfo> GetAttr(const std::string& path) override {
+    return ForwardOr<FileInfo>([&](CfsEngine* e) { return e->GetAttr(path); });
+  }
+  Status SetAttr(const std::string& path, const SetAttrSpec& spec) override {
+    return Forward([&](CfsEngine* e) { return e->SetAttr(path, spec); });
+  }
+  StatusOr<std::vector<DirEntry>> ReadDir(const std::string& path) override {
+    return ForwardOr<std::vector<DirEntry>>(
+        [&](CfsEngine* e) { return e->ReadDir(path); });
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return Forward([&](CfsEngine* e) { return e->Rename(from, to); });
+  }
+  Status Symlink(const std::string& target,
+                 const std::string& link_path) override {
+    return Forward([&](CfsEngine* e) { return e->Symlink(target, link_path); });
+  }
+  StatusOr<std::string> ReadLink(const std::string& path) override {
+    return ForwardOr<std::string>(
+        [&](CfsEngine* e) { return e->ReadLink(path); });
+  }
+  Status Link(const std::string& existing,
+              const std::string& link_path) override {
+    return Forward([&](CfsEngine* e) { return e->Link(existing, link_path); });
+  }
+  Status Write(const std::string& path, uint64_t offset,
+               const std::string& data) override {
+    return Forward([&](CfsEngine* e) { return e->Write(path, offset, data); });
+  }
+  StatusOr<std::string> Read(const std::string& path, uint64_t offset,
+                             size_t length) override {
+    return ForwardOr<std::string>(
+        [&](CfsEngine* e) { return e->Read(path, offset, length); });
+  }
+
+ private:
+  template <typename Fn>
+  Status Forward(Fn&& fn) {
+    CfsEngine* engine = fs_->proxy_engine(proxy_index_);
+    return fs_->net()->Call(self_, fs_->proxy_net_id(proxy_index_),
+                            [&] { return fn(engine); });
+  }
+  template <typename T, typename Fn>
+  StatusOr<T> ForwardOr(Fn&& fn) {
+    CfsEngine* engine = fs_->proxy_engine(proxy_index_);
+    return fs_->net()->Call(self_, fs_->proxy_net_id(proxy_index_),
+                            [&]() -> StatusOr<T> { return fn(engine); });
+  }
+
+  Cfs* fs_;
+  NodeId self_;
+  size_t proxy_index_;
+};
+
+}  // namespace
+
+Cfs::Cfs(CfsOptions options) : options_(std::move(options)), net_(options_.net) {
+  std::vector<uint32_t> servers;
+  for (uint32_t s = 0; s < options_.num_servers; s++) {
+    servers.push_back(s);
+  }
+  tafdb_ = std::make_unique<TafDbCluster>(&net_, servers, options_.tafdb);
+  filestore_ =
+      std::make_unique<FileStoreCluster>(&net_, servers, options_.filestore);
+  RenamerOptions renamer_options = options_.renamer;
+  renamer_options.tiered_attrs = options_.tiered_attrs;
+  renamer_options.use_shard_row_locks = !options_.primitives;
+  std::vector<uint32_t> renamer_servers;
+  for (size_t i = 0; i < renamer_options.replicas; i++) {
+    renamer_servers.push_back(servers[i % servers.size()]);
+  }
+  renamer_ = std::make_unique<Renamer>(
+      &net_, renamer_servers, tafdb_.get(),
+      options_.tiered_attrs ? filestore_.get() : nullptr, renamer_options);
+  gc_ = std::make_unique<GarbageCollector>(this);
+
+  if (!options_.client_resolving) {
+    for (size_t i = 0; i < options_.num_proxies; i++) {
+      NodeId node = net_.AddNode("proxy-" + std::to_string(i),
+                                 static_cast<uint32_t>(i % servers.size()));
+      proxy_nodes_.push_back(node);
+      proxy_engines_.push_back(std::make_unique<CfsEngine>(this, node));
+    }
+  }
+}
+
+Cfs::~Cfs() { Stop(); }
+
+Status Cfs::Start() {
+  if (started_) return Status::Ok();
+  CFS_RETURN_IF_ERROR(tafdb_->Start());
+  CFS_RETURN_IF_ERROR(filestore_->Start());
+  CFS_RETURN_IF_ERROR(renamer_->Start());
+  if (options_.start_gc) {
+    gc_->Start();
+  }
+  started_ = true;
+  CFS_LOG(kInfo) << "cfs started (tiered=" << options_.tiered_attrs
+                 << " primitives=" << options_.primitives
+                 << " client_resolving=" << options_.client_resolving << ")";
+  return Status::Ok();
+}
+
+void Cfs::Stop() {
+  if (!started_) return;
+  started_ = false;
+  gc_->Stop();
+  renamer_->Stop();
+  filestore_->Stop();
+  tafdb_->Stop();
+}
+
+std::unique_ptr<MetadataClient> Cfs::NewClient() {
+  // Clients run on dedicated client servers (the paper separates the 10
+  // client machines from the 40 DFS servers); model them as servers beyond
+  // the DFS range so every client->service call is cross-node.
+  uint32_t client_server =
+      static_cast<uint32_t>(options_.num_servers) +
+      (next_client_server_.fetch_add(1) % 8);
+  NodeId node = net_.AddNode("client", client_server);
+  if (options_.client_resolving) {
+    return std::make_unique<CfsEngine>(this, node);
+  }
+  size_t proxy = next_proxy_.fetch_add(1) % proxy_engines_.size();
+  return std::make_unique<ProxyClientStub>(this, node, proxy);
+}
+
+}  // namespace cfs

@@ -1,0 +1,193 @@
+// Cfs — the assembled system (paper Figure 5): TafDB (namespace store),
+// FileStore (file data + attributes), Renamer, the timestamp service, the
+// garbage collector, and client construction.
+//
+// CfsOptions toggles the paper's three optimizations independently so the
+// Fig 13 ablation can be reproduced with the same codebase:
+//   tiered_attrs      — "+new-org":    file attributes offloaded to
+//                       FileStore via hash partitioning (§4.1); when off,
+//                       they are TafDB records on the shard of their own id.
+//   primitives        — "+primitives": metadata mutations use single-shard
+//                       atomic primitives (§4.2); when off, they run as
+//                       lock-based read-modify-write transactions with 2PC
+//                       for cross-shard write sets (the conventional path).
+//   client_resolving  — "+no-proxy":   clients resolve and route metadata
+//                       requests themselves (§3.1); when off, requests take
+//                       an extra hop through a metadata proxy node.
+
+#ifndef CFS_CORE_CFS_H_
+#define CFS_CORE_CFS_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/metadata_client.h"
+#include "src/filestore/filestore.h"
+#include "src/net/simnet.h"
+#include "src/renamer/renamer.h"
+#include "src/tafdb/tafdb.h"
+#include "src/txn/timestamp_oracle.h"
+#include "src/txn/two_phase_commit.h"
+
+namespace cfs {
+
+class CfsEngine;
+class GarbageCollector;
+
+struct CfsOptions {
+  bool tiered_attrs = true;
+  bool primitives = true;
+  bool client_resolving = true;
+
+  size_t num_servers = 8;   // physical servers (metadata+data co-deployed)
+  size_t num_proxies = 4;   // only used when !client_resolving
+
+  TafDbOptions tafdb;
+  FileStoreOptions filestore;
+  RenamerOptions renamer;
+  NetOptions net;
+
+  // Garbage collection cadence and orphan grace period. The grace period
+  // must comfortably exceed the longest in-flight window between a
+  // creation's two tier writes.
+  int64_t gc_interval_ms = 200;
+  int64_t gc_grace_ms = 1000;
+  bool start_gc = true;
+};
+
+// Helper producing the four Fig 13 configurations.
+CfsOptions CfsBaseOptions();     // CFS-base
+CfsOptions CfsNewOrgOptions();   // +new-org
+CfsOptions CfsPrimitivesOptions();  // +primitives
+CfsOptions CfsFullOptions();     // +no-proxy (full CFS)
+
+class Cfs {
+ public:
+  explicit Cfs(CfsOptions options);
+  ~Cfs();
+
+  Cfs(const Cfs&) = delete;
+  Cfs& operator=(const Cfs&) = delete;
+
+  Status Start();
+  void Stop();
+
+  // Creates a client. With client_resolving, the returned client talks to
+  // the services directly; otherwise it is a thin stub that forwards every
+  // operation through a metadata proxy node.
+  std::unique_ptr<MetadataClient> NewClient();
+
+  SimNet* net() { return &net_; }
+  TafDbCluster* tafdb() { return tafdb_.get(); }
+  FileStoreCluster* filestore() { return filestore_.get(); }
+  Renamer* renamer() { return renamer_.get(); }
+  GarbageCollector* gc() { return gc_.get(); }
+  const CfsOptions& options() const { return options_; }
+
+  // Internal: engines living on proxy nodes (round-robin assigned).
+  CfsEngine* proxy_engine(size_t i) { return proxy_engines_[i].get(); }
+  size_t num_proxies() const { return proxy_engines_.size(); }
+  NodeId proxy_net_id(size_t i) const { return proxy_nodes_[i]; }
+
+ private:
+  CfsOptions options_;
+  SimNet net_;
+  std::unique_ptr<TafDbCluster> tafdb_;
+  std::unique_ptr<FileStoreCluster> filestore_;
+  std::unique_ptr<Renamer> renamer_;
+  std::unique_ptr<GarbageCollector> gc_;
+  std::vector<NodeId> proxy_nodes_;
+  std::vector<std::unique_ptr<CfsEngine>> proxy_engines_;
+  std::atomic<size_t> next_proxy_{0};
+  std::atomic<uint32_t> next_client_server_{0};
+  bool started_ = false;
+};
+
+// The metadata engine implementing every operation for all CfsOptions
+// variants. Instantiated per client (client-side metadata resolving) or per
+// proxy node (proxy mode).
+class CfsEngine : public MetadataClient {
+ public:
+  CfsEngine(Cfs* fs, NodeId self);
+
+  Status Mkdir(const std::string& path, uint32_t mode) override;
+  Status Rmdir(const std::string& path) override;
+  Status Create(const std::string& path, uint32_t mode) override;
+  Status Unlink(const std::string& path) override;
+  StatusOr<FileInfo> Lookup(const std::string& path) override;
+  StatusOr<FileInfo> GetAttr(const std::string& path) override;
+  Status SetAttr(const std::string& path, const SetAttrSpec& spec) override;
+  StatusOr<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Symlink(const std::string& target,
+                 const std::string& link_path) override;
+  StatusOr<std::string> ReadLink(const std::string& path) override;
+  Status Link(const std::string& existing,
+              const std::string& link_path) override;
+  Status Write(const std::string& path, uint64_t offset,
+               const std::string& data) override;
+  StatusOr<std::string> Read(const std::string& path, uint64_t offset,
+                             size_t length) override;
+
+  NodeId self() const { return self_; }
+  void InvalidateCache(const std::string& path);
+
+ private:
+  struct Resolved {
+    InodeId parent = kInvalidInode;
+    std::string name;       // empty for "/"
+    InodeId id = kInvalidInode;
+    InodeType type = InodeType::kNone;
+  };
+
+  // Resolves the parent directory of `path` (all but the last component).
+  StatusOr<Resolved> ResolveParent(const std::string& path);
+  // Resolves the full path (parent + final dentry read).
+  StatusOr<Resolved> Resolve(const std::string& path,
+                             bool bypass_final_cache = false);
+  StatusOr<InodeId> ResolveDirId(const std::string& path);
+
+  // One dentry read from TafDB (1 RPC).
+  StatusOr<InodeRecord> ReadEntry(InodeId parent, const std::string& name);
+  StatusOr<InodeRecord> ReadTafAttr(InodeId id);
+  PrimitiveResult ExecOnShard(InodeId kid, const PrimitiveOp& op);
+
+  // Full attribute record fetch honoring the tiering config.
+  StatusOr<InodeRecord> FetchAttr(InodeId id, InodeType type);
+
+  // Lock-based read-modify-write commit used when !primitives: stages the
+  // per-shard write sets and commits (2PC if multi-shard) while the caller
+  // holds the relevant row locks.
+  Status CommitWriteSets(std::map<size_t, PrimitiveOp> ops, TxnId txn);
+
+  // Shared bodies for create/symlink and attr-record placement.
+  Status CreateCommon(const std::string& path, uint32_t mode, InodeType type,
+                      const std::string& symlink_target);
+  Status PlaceFileAttr(const InodeRecord& attr);
+  void DeleteFileAttrAsync(InodeId id);
+
+  uint64_t NowTs();
+  InodeId AllocId();
+  TxnId NextTxn();
+
+  // Dentry cache (client-side metadata resolving).
+  void CachePut(const std::string& path, InodeId id, InodeType type);
+  bool CacheGet(const std::string& path, InodeId* id, InodeType* type);
+  void CacheErase(const std::string& path);
+
+  Cfs* fs_;
+  NodeId self_;
+  TimestampCache ts_cache_;
+  TimestampCache id_cache_;
+  std::mutex cache_mu_;
+  std::map<std::string, std::pair<InodeId, InodeType>> dentry_cache_;
+  std::atomic<TxnId> txn_seq_{1};
+};
+
+}  // namespace cfs
+
+#endif  // CFS_CORE_CFS_H_

@@ -1,0 +1,183 @@
+#include "src/core/posix.h"
+
+#include <cerrno>
+
+namespace cfs {
+
+int StatusToErrno(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kOk: return 0;
+    case ErrorCode::kNotFound: return -ENOENT;
+    case ErrorCode::kAlreadyExists: return -EEXIST;
+    case ErrorCode::kNotADirectory: return -ENOTDIR;
+    case ErrorCode::kIsADirectory: return -EISDIR;
+    case ErrorCode::kNotEmpty: return -ENOTEMPTY;
+    case ErrorCode::kInvalidArgument: return -EINVAL;
+    case ErrorCode::kPermissionDenied: return -EACCES;
+    case ErrorCode::kCrossDevice: return -EXDEV;
+    case ErrorCode::kConflict:
+    case ErrorCode::kAborted: return -EAGAIN;
+    case ErrorCode::kTimeout: return -ETIMEDOUT;
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kNotLeader: return -EIO;
+    default: return -EIO;
+  }
+}
+
+int PosixFs::Mkdir(const std::string& path, uint32_t mode) {
+  return StatusToErrno(client_->Mkdir(path, mode));
+}
+
+int PosixFs::Rmdir(const std::string& path) {
+  return StatusToErrno(client_->Rmdir(path));
+}
+
+int PosixFs::Open(const std::string& path, int flags, uint32_t mode) {
+  // open(O_CREAT) decomposes into lookup + create (§3.2).
+  auto info = client_->Lookup(path);
+  if (info.ok()) {
+    if ((flags & kOCreat) != 0 && (flags & kOExcl) != 0) {
+      return -EEXIST;
+    }
+    if (info->type == InodeType::kDirectory) {
+      return -EISDIR;
+    }
+    if ((flags & kOTrunc) != 0) {
+      SetAttrSpec spec;
+      spec.size = 0;
+      int rc = StatusToErrno(client_->SetAttr(path, spec));
+      if (rc != 0) return rc;
+    }
+  } else if (info.status().IsNotFound()) {
+    if ((flags & kOCreat) == 0) {
+      return -ENOENT;
+    }
+    int rc = StatusToErrno(client_->Create(path, mode));
+    if (rc != 0) return rc;
+  } else {
+    return StatusToErrno(info.status());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  int fd = next_fd_++;
+  open_files_[fd] = OpenFile{path, flags};
+  return fd;
+}
+
+int PosixFs::Close(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_files_.erase(fd) != 0 ? 0 : -EBADF;
+}
+
+int PosixFs::Unlink(const std::string& path) {
+  return StatusToErrno(client_->Unlink(path));
+}
+
+int PosixFs::Stat(const std::string& path, StatBuf* out) {
+  // stat decomposes into lookup + getattr.
+  auto info = client_->GetAttr(path);
+  if (!info.ok()) return StatusToErrno(info.status());
+  out->ino = info->id;
+  out->mode = info->mode;
+  out->type = info->type;
+  out->size = info->size;
+  out->nlink = info->links;
+  out->mtime = info->mtime;
+  out->ctime = info->ctime;
+  out->uid = info->uid;
+  out->gid = info->gid;
+  return 0;
+}
+
+int PosixFs::Chmod(const std::string& path, uint32_t mode) {
+  SetAttrSpec spec;
+  spec.mode = mode;
+  return StatusToErrno(client_->SetAttr(path, spec));
+}
+
+int PosixFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
+  SetAttrSpec spec;
+  spec.uid = uid;
+  spec.gid = gid;
+  return StatusToErrno(client_->SetAttr(path, spec));
+}
+
+int PosixFs::Truncate(const std::string& path, int64_t size) {
+  auto info = client_->Lookup(path);
+  if (!info.ok()) return StatusToErrno(info.status());
+  if (info->type == InodeType::kDirectory) return -EISDIR;
+  SetAttrSpec spec;
+  spec.size = size;
+  return StatusToErrno(client_->SetAttr(path, spec));
+}
+
+int PosixFs::Utimens(const std::string& path, uint64_t mtime) {
+  SetAttrSpec spec;
+  spec.mtime = mtime;
+  return StatusToErrno(client_->SetAttr(path, spec));
+}
+
+int PosixFs::Rename(const std::string& from, const std::string& to) {
+  return StatusToErrno(client_->Rename(from, to));
+}
+
+int PosixFs::Symlink(const std::string& target, const std::string& link_path) {
+  return StatusToErrno(client_->Symlink(target, link_path));
+}
+
+int PosixFs::ReadlinkInto(const std::string& path, std::string* target) {
+  auto result = client_->ReadLink(path);
+  if (!result.ok()) return StatusToErrno(result.status());
+  *target = std::move(result).value();
+  return 0;
+}
+
+int PosixFs::LinkFile(const std::string& existing,
+                      const std::string& link_path) {
+  return StatusToErrno(client_->Link(existing, link_path));
+}
+
+int PosixFs::ReadDirInto(const std::string& path, std::vector<DirEntry>* out) {
+  auto result = client_->ReadDir(path);
+  if (!result.ok()) return StatusToErrno(result.status());
+  *out = std::move(result).value();
+  return 0;
+}
+
+int64_t PosixFs::PWrite(int fd, const std::string& data, uint64_t offset) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = open_files_.find(fd);
+    if (it == open_files_.end()) return -EBADF;
+    path = it->second.path;
+  }
+  Status st = client_->Write(path, offset, data);
+  if (!st.ok()) return StatusToErrno(st);
+  return static_cast<int64_t>(data.size());
+}
+
+int64_t PosixFs::PRead(int fd, uint64_t offset, size_t length,
+                       std::string* out) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = open_files_.find(fd);
+    if (it == open_files_.end()) return -EBADF;
+    path = it->second.path;
+  }
+  // read decomposes into getattr (freshness check) + data read (§3.2).
+  auto info = client_->GetAttr(path);
+  if (!info.ok()) return StatusToErrno(info.status());
+  auto data = client_->Read(path, offset, length);
+  if (!data.ok()) {
+    if (data.status().IsNotFound()) {
+      out->clear();
+      return 0;  // hole / EOF
+    }
+    return StatusToErrno(data.status());
+  }
+  *out = std::move(data).value();
+  return static_cast<int64_t>(out->size());
+}
+
+}  // namespace cfs

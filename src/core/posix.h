@@ -1,0 +1,86 @@
+// PosixFs — a POSIX-flavoured adapter over MetadataClient, mirroring the
+// VFS-adapter role described in §3.2: it maps user-level POSIX calls
+// (open/stat/read/write/...) onto CFS internal metadata and data
+// operations, e.g. open(O_CREAT) -> lookup + create, stat -> lookup +
+// getattr, read -> getattr + read. Errors are reported as negative errno
+// values so the conformance suite can assert POSIX semantics directly.
+
+#ifndef CFS_CORE_POSIX_H_
+#define CFS_CORE_POSIX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/metadata_client.h"
+
+namespace cfs {
+
+// POSIX-ish stat result.
+struct StatBuf {
+  InodeId ino = 0;
+  uint32_t mode = 0;  // permission bits
+  InodeType type = InodeType::kNone;
+  int64_t size = 0;
+  int64_t nlink = 0;
+  uint64_t mtime = 0;
+  uint64_t ctime = 0;
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+};
+
+// open(2) flags (subset).
+inline constexpr int kOCreat = 0x1;
+inline constexpr int kOExcl = 0x2;
+inline constexpr int kOTrunc = 0x4;
+inline constexpr int kOAppend = 0x8;
+
+// Maps an internal Status to a negative errno value (0 on success).
+int StatusToErrno(const Status& status);
+
+class PosixFs {
+ public:
+  explicit PosixFs(std::unique_ptr<MetadataClient> client)
+      : client_(std::move(client)) {}
+
+  // All calls return 0 / fd >= 0 on success, -errno on failure.
+  int Mkdir(const std::string& path, uint32_t mode);
+  int Rmdir(const std::string& path);
+  int Open(const std::string& path, int flags, uint32_t mode = 0644);
+  int Close(int fd);
+  int Unlink(const std::string& path);
+  int Stat(const std::string& path, StatBuf* out);
+  int Chmod(const std::string& path, uint32_t mode);
+  int Chown(const std::string& path, uint32_t uid, uint32_t gid);
+  int Truncate(const std::string& path, int64_t size);
+  int Utimens(const std::string& path, uint64_t mtime);
+  int Rename(const std::string& from, const std::string& to);
+  int Symlink(const std::string& target, const std::string& link_path);
+  int ReadlinkInto(const std::string& path, std::string* target);
+  int LinkFile(const std::string& existing, const std::string& link_path);
+  int ReadDirInto(const std::string& path, std::vector<DirEntry>* out);
+
+  // fd-based I/O; offset tracked per open file (append honours kOAppend).
+  int64_t PWrite(int fd, const std::string& data, uint64_t offset);
+  int64_t PRead(int fd, uint64_t offset, size_t length, std::string* out);
+
+  MetadataClient* client() { return client_.get(); }
+
+ private:
+  struct OpenFile {
+    std::string path;
+    int flags = 0;
+  };
+
+  std::unique_ptr<MetadataClient> client_;
+  std::mutex mu_;
+  std::map<int, OpenFile> open_files_;
+  int next_fd_ = 3;
+};
+
+}  // namespace cfs
+
+#endif  // CFS_CORE_POSIX_H_

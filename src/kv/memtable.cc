@@ -1,0 +1,121 @@
+#include "src/kv/memtable.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace cfs {
+
+MemTable::MemTable() {
+  KvEntry sentinel;
+  head_ = NewNode(std::move(sentinel), kMaxHeight);
+  for (int i = 0; i < kMaxHeight; i++) {
+    head_->SetNext(i, nullptr);
+  }
+}
+
+MemTable::~MemTable() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->Next(0);
+    n->entry.~KvEntry();
+    std::free(n);
+    n = next;
+  }
+}
+
+MemTable::Node* MemTable::NewNode(KvEntry entry, int height) {
+  size_t size = sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1);
+  void* mem = std::malloc(size);
+  assert(mem != nullptr);
+  Node* node = static_cast<Node*>(mem);
+  new (&node->entry) KvEntry(std::move(entry));
+  node->height = height;
+  for (int i = 0; i < height; i++) {
+    new (&node->next[i]) std::atomic<Node*>(nullptr);
+  }
+  return node;
+}
+
+int MemTable::RandomHeight() {
+  int height = 1;
+  while (height < kMaxHeight && (rng_.Next() & 3) == 0) {
+    height++;
+  }
+  return height;
+}
+
+MemTable::Node* MemTable::FindGreaterOrEqual(std::string_view key,
+                                             uint64_t seq,
+                                             Node** prev) const {
+  Node* x = head_;
+  int level = max_height_.load(std::memory_order_acquire) - 1;
+  for (;;) {
+    Node* next = x->Next(level);
+    bool go_right =
+        next != nullptr &&
+        InternalLess(next->entry.key, next->entry.seq, key, seq);
+    if (go_right) {
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) return next;
+      level--;
+    }
+  }
+}
+
+void MemTable::Add(std::string_view key, std::string_view value, uint64_t seq,
+                   ValueType type) {
+  KvEntry entry{std::string(key), std::string(value), seq, type};
+  size_t cost = key.size() + value.size() + 48;
+  Node* prev[kMaxHeight];
+  FindGreaterOrEqual(key, seq, prev);
+  int height = RandomHeight();
+  int max_h = max_height_.load(std::memory_order_relaxed);
+  if (height > max_h) {
+    for (int i = max_h; i < height; i++) {
+      prev[i] = head_;
+    }
+    max_height_.store(height, std::memory_order_release);
+  }
+  Node* node = NewNode(std::move(entry), height);
+  for (int i = 0; i < height; i++) {
+    node->SetNext(i, prev[i]->Next(i));
+    prev[i]->SetNext(i, node);
+  }
+  bytes_.fetch_add(cost, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<KvEntry> MemTable::Get(std::string_view key,
+                                     uint64_t snapshot_seq) const {
+  Node* n = FindGreaterOrEqual(key, snapshot_seq, nullptr);
+  if (n != nullptr && n->entry.key == key) {
+    return n->entry;
+  }
+  return std::nullopt;
+}
+
+void MemTable::VisitRange(
+    std::string_view start, std::string_view end,
+    const std::function<bool(const KvEntry&)>& visit) const {
+  Node* n = FindGreaterOrEqual(start, UINT64_MAX, nullptr);
+  while (n != nullptr) {
+    if (!end.empty() && n->entry.key >= end) return;
+    if (!visit(n->entry)) return;
+    n = n->Next(0);
+  }
+}
+
+void MemTable::VisitAll(
+    const std::function<bool(const KvEntry&)>& visit) const {
+  Node* n = head_->Next(0);
+  while (n != nullptr) {
+    if (!visit(n->entry)) return;
+    n = n->Next(0);
+  }
+}
+
+}  // namespace cfs

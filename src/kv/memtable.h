@@ -1,0 +1,99 @@
+// Skiplist memtable with LevelDB-style versioned internal keys:
+// entries are ordered by (user_key asc, sequence desc), and carry a value
+// type (put or tombstone). Readers at a snapshot sequence see the newest
+// entry whose sequence is <= the snapshot.
+
+#ifndef CFS_KV_MEMTABLE_H_
+#define CFS_KV_MEMTABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/random.h"
+
+namespace cfs {
+
+enum class ValueType : uint8_t { kPut = 0, kDelete = 1 };
+
+struct KvEntry {
+  std::string key;
+  std::string value;
+  uint64_t seq = 0;
+  ValueType type = ValueType::kPut;
+};
+
+// Orders by key asc, then seq desc (newer versions first).
+inline bool InternalLess(std::string_view ak, uint64_t aseq,
+                         std::string_view bk, uint64_t bseq) {
+  int c = ak.compare(bk);
+  if (c != 0) return c < 0;
+  return aseq > bseq;
+}
+
+class MemTable {
+ public:
+  MemTable();
+  ~MemTable();
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  // Thread-safety: Add is externally serialized by the store's write path;
+  // Get/Scan may run concurrently with Add (pointers are published with
+  // release stores).
+  void Add(std::string_view key, std::string_view value, uint64_t seq,
+           ValueType type);
+
+  // Newest version of `key` visible at `snapshot_seq`. Returns nullopt when
+  // no version exists (a tombstone IS returned, as an entry of kDelete type,
+  // so callers can distinguish "deleted here" from "not present here").
+  std::optional<KvEntry> Get(std::string_view key, uint64_t snapshot_seq) const;
+
+  // Visits all entries (every version) with key in [start, end) in internal
+  // order. Return false from the visitor to stop.
+  void VisitRange(std::string_view start, std::string_view end,
+                  const std::function<bool(const KvEntry&)>& visit) const;
+
+  // Visits every entry in internal order (for flushing).
+  void VisitAll(const std::function<bool(const KvEntry&)>& visit) const;
+
+  size_t ApproximateBytes() const { return bytes_.load(std::memory_order_relaxed); }
+  size_t EntryCount() const { return entries_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    KvEntry entry;
+    int height;
+    std::atomic<Node*> next[1];  // over-allocated to `height`
+
+    Node* Next(int level) const {
+      return next[level].load(std::memory_order_acquire);
+    }
+    void SetNext(int level, Node* n) {
+      next[level].store(n, std::memory_order_release);
+    }
+  };
+
+  Node* NewNode(KvEntry entry, int height);
+  int RandomHeight();
+  // Last node < (key, seq); fills prev[] when non-null.
+  Node* FindGreaterOrEqual(std::string_view key, uint64_t seq,
+                           Node** prev) const;
+
+  Node* head_;
+  std::atomic<int> max_height_{1};
+  Rng rng_{0xdecafbad};
+  std::atomic<size_t> bytes_{0};
+  std::atomic<size_t> entries_{0};
+};
+
+}  // namespace cfs
+
+#endif  // CFS_KV_MEMTABLE_H_

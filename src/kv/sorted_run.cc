@@ -1,0 +1,112 @@
+#include "src/kv/sorted_run.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace cfs {
+
+SortedRun::SortedRun(std::vector<KvEntry> entries)
+    : entries_(std::move(entries)) {
+  for (const auto& e : entries_) {
+    min_seq_ = std::min(min_seq_, e.seq);
+    max_seq_ = std::max(max_seq_, e.seq);
+  }
+}
+
+std::optional<KvEntry> SortedRun::Get(std::string_view key,
+                                      uint64_t snapshot_seq) const {
+  // First entry >= (key, snapshot_seq) in internal order.
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [snapshot_seq](const KvEntry& e, std::string_view k) {
+        return InternalLess(e.key, e.seq, k, snapshot_seq);
+      });
+  if (it != entries_.end() && it->key == key) {
+    return *it;
+  }
+  return std::nullopt;
+}
+
+void SortedRun::VisitRange(
+    std::string_view start, std::string_view end,
+    const std::function<bool(const KvEntry&)>& visit) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), start,
+                             [](const KvEntry& e, std::string_view k) {
+                               return InternalLess(e.key, e.seq, k, UINT64_MAX);
+                             });
+  for (; it != entries_.end(); ++it) {
+    if (!end.empty() && it->key >= end) return;
+    if (!visit(*it)) return;
+  }
+}
+
+std::shared_ptr<SortedRun> SortedRun::Merge(
+    const std::vector<std::shared_ptr<SortedRun>>& runs, uint64_t keep_seq,
+    bool drop_tombstones) {
+  // Heap item: (entry pointer, run index, position).
+  struct Cursor {
+    const SortedRun* run;
+    size_t pos;
+    const KvEntry& entry() const { return run->entries_[pos]; }
+  };
+  auto greater = [](const Cursor& a, const Cursor& b) {
+    const KvEntry& ea = a.entry();
+    const KvEntry& eb = b.entry();
+    return InternalLess(eb.key, eb.seq, ea.key, ea.seq);
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(
+      greater);
+  for (const auto& r : runs) {
+    if (r && r->size() > 0) {
+      heap.push(Cursor{r.get(), 0});
+    }
+  }
+
+  std::vector<KvEntry> merged;
+  std::string current_key;
+  bool have_key = false;
+  bool kept_at_or_below_keep_seq = false;
+
+  auto flush_tombstone_tail = [&]() {
+    // When dropping tombstones, a group whose newest kept version is a
+    // tombstone entirely disappears for readers at or below keep_seq; later
+    // versions were already appended, so only strip a trailing tombstone
+    // whose seq <= keep_seq.
+    if (drop_tombstones && !merged.empty() &&
+        merged.back().type == ValueType::kDelete &&
+        merged.back().key == current_key && merged.back().seq <= keep_seq) {
+      merged.pop_back();
+    }
+  };
+
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    const KvEntry& e = c.entry();
+    if (!have_key || e.key != current_key) {
+      flush_tombstone_tail();
+      current_key = e.key;
+      have_key = true;
+      kept_at_or_below_keep_seq = false;
+      merged.push_back(e);
+      if (e.seq <= keep_seq) kept_at_or_below_keep_seq = true;
+    } else {
+      // Same key, strictly older version (internal order is seq desc).
+      if (e.seq > keep_seq) {
+        merged.push_back(e);
+      } else if (!kept_at_or_below_keep_seq) {
+        merged.push_back(e);
+        kept_at_or_below_keep_seq = true;
+      }
+      // else: shadowed for every possible reader; drop.
+    }
+    if (c.pos + 1 < c.run->size()) {
+      heap.push(Cursor{c.run, c.pos + 1});
+    }
+  }
+  flush_tombstone_tail();
+  return std::make_shared<SortedRun>(std::move(merged));
+}
+
+}  // namespace cfs

@@ -1,0 +1,52 @@
+// Immutable sorted run — the flushed/compacted on-"disk" unit of the KV
+// store (the SSTable analogue). Entries are in internal order (key asc,
+// seq desc) and may contain multiple versions of a key.
+
+#ifndef CFS_KV_SORTED_RUN_H_
+#define CFS_KV_SORTED_RUN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/kv/memtable.h"
+
+namespace cfs {
+
+class SortedRun {
+ public:
+  // `entries` must already be in internal order.
+  explicit SortedRun(std::vector<KvEntry> entries);
+
+  // Newest version of key visible at snapshot_seq, or nullopt.
+  std::optional<KvEntry> Get(std::string_view key, uint64_t snapshot_seq) const;
+
+  // Visits entries with key in [start, end) (end empty = unbounded).
+  void VisitRange(std::string_view start, std::string_view end,
+                  const std::function<bool(const KvEntry&)>& visit) const;
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<KvEntry>& entries() const { return entries_; }
+
+  uint64_t min_seq() const { return min_seq_; }
+  uint64_t max_seq() const { return max_seq_; }
+
+  // k-way merges runs (newest first priority) into one run, dropping
+  // versions not needed by any snapshot >= `keep_seq` except the newest per
+  // key, and dropping tombstones entirely when `drop_tombstones`.
+  static std::shared_ptr<SortedRun> Merge(
+      const std::vector<std::shared_ptr<SortedRun>>& runs, uint64_t keep_seq,
+      bool drop_tombstones);
+
+ private:
+  std::vector<KvEntry> entries_;
+  uint64_t min_seq_ = UINT64_MAX;
+  uint64_t max_seq_ = 0;
+};
+
+}  // namespace cfs
+
+#endif  // CFS_KV_SORTED_RUN_H_

@@ -1,0 +1,129 @@
+#include "src/net/simnet.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cfs {
+namespace {
+
+thread_local uint64_t t_hops = 0;
+
+thread_local uint64_t t_rng_state =
+    0x9e3779b97f4a7c15ULL ^
+    std::hash<std::thread::id>{}(std::this_thread::get_id());
+
+int64_t Jitter(int64_t base_us, int64_t jitter_pct) {
+  if (jitter_pct <= 0) return base_us;
+  uint64_t r = SplitMix64(t_rng_state);
+  int64_t span = base_us * jitter_pct / 100;
+  if (span <= 0) return base_us;
+  return base_us - span + static_cast<int64_t>(r % (2 * static_cast<uint64_t>(span) + 1));
+}
+
+}  // namespace
+
+SimNet::SimNet(NetOptions options) : options_(options) {}
+
+NodeId SimNet::AddNode(std::string name, uint32_t server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), server,
+                        std::make_unique<std::atomic<uint64_t>>(0)});
+  return id;
+}
+
+uint32_t SimNet::ServerOf(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(node < nodes_.size());
+  return nodes_[node].server;
+}
+
+const std::string& SimNet::NameOf(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(node < nodes_.size());
+  return nodes_[node].name;
+}
+
+size_t SimNet::NumNodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.size();
+}
+
+void SimNet::SetNodeDown(NodeId node, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down) {
+    down_nodes_.insert(node);
+  } else {
+    down_nodes_.erase(node);
+  }
+  has_faults_.store(!down_nodes_.empty() || !partitions_.empty());
+}
+
+void SimNet::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
+  auto key = std::minmax(a, b);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partitioned) {
+    partitions_.insert(key);
+  } else {
+    partitions_.erase(key);
+  }
+  has_faults_.store(!down_nodes_.empty() || !partitions_.empty());
+}
+
+void SimNet::HealAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  down_nodes_.clear();
+  partitions_.clear();
+  has_faults_.store(false);
+}
+
+Status SimNet::BeginCall(NodeId from, NodeId to) {
+  if (has_faults_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_nodes_.count(to) != 0) {
+      return Status::Unavailable("node down: " + nodes_[to].name);
+    }
+    if (down_nodes_.count(from) != 0) {
+      return Status::Unavailable("caller down: " + nodes_[from].name);
+    }
+    if (partitions_.count(std::minmax(from, to)) != 0) {
+      return Status::Unavailable("network partition");
+    }
+  }
+  InjectLatency(from, to);
+  total_calls_.fetch_add(1, std::memory_order_relaxed);
+  t_hops++;
+  // nodes_ never shrinks; index read without the lock is safe after AddNode.
+  nodes_[to].calls->fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void SimNet::InjectLatency(NodeId from, NodeId to) {
+  if (options_.mode == LatencyMode::kZero) return;
+  int64_t base = (nodes_[from].server == nodes_[to].server)
+                     ? options_.same_node_rtt_us
+                     : options_.cross_node_rtt_us;
+  int64_t us = Jitter(base, options_.jitter_pct);
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+uint64_t SimNet::CallsTo(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(node < nodes_.size());
+  return nodes_[node].calls->load();
+}
+
+void SimNet::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_calls_.store(0);
+  for (auto& n : nodes_) {
+    n.calls->store(0);
+  }
+}
+
+void SimNet::ResetThreadHops() { t_hops = 0; }
+uint64_t SimNet::ThreadHops() { return t_hops; }
+
+}  // namespace cfs

@@ -1,0 +1,116 @@
+// SimNet — the in-process cluster fabric.
+//
+// Every CFS/baseline service instance is registered as a node. A remote
+// procedure call between two services goes through SimNet::Call, which
+//   1. checks fault state (node down, pairwise partition) and fails the call
+//      with kUnavailable without invoking the handler,
+//   2. injects the configured network round-trip latency on the caller
+//      thread (zero in unit tests, a real sleep in benchmarks),
+//   3. counts the hop, globally, per destination node, and in a thread-local
+//      counter so tests can assert exact RPC counts per operation.
+//
+// The handler then runs synchronously on the caller's thread; services are
+// passive, internally synchronized objects. Server-side CPU queueing is not
+// modelled (see DESIGN.md §5) — lock queueing and raft-log serialization,
+// the effects the paper studies, are modelled by the services themselves.
+
+#ifndef CFS_NET_SIMNET_H_
+#define CFS_NET_SIMNET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace cfs {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+enum class LatencyMode {
+  kZero,   // no injected latency: fast deterministic unit tests
+  kSleep,  // sleep for the configured round-trip time: benchmarks
+};
+
+struct NetOptions {
+  LatencyMode mode = LatencyMode::kZero;
+  int64_t same_node_rtt_us = 5;     // loopback / same physical server
+  int64_t cross_node_rtt_us = 150;  // datacenter network round trip
+  int64_t jitter_pct = 10;          // uniform +/- jitter on each call
+  uint64_t seed = 42;
+};
+
+class SimNet {
+ public:
+  explicit SimNet(NetOptions options = {});
+
+  // Registers a node (a service instance placement). `server` identifies the
+  // physical server the node lives on; nodes sharing a server communicate at
+  // same-node latency (the paper co-deploys metadata and data services).
+  NodeId AddNode(std::string name, uint32_t server);
+
+  uint32_t ServerOf(NodeId node) const;
+  const std::string& NameOf(NodeId node) const;
+  size_t NumNodes() const;
+
+  // Fault injection.
+  void SetNodeDown(NodeId node, bool down);
+  void SetPartitioned(NodeId a, NodeId b, bool partitioned);
+  void HealAll();
+
+  // Performs delivery checks and latency injection for one round trip.
+  Status BeginCall(NodeId from, NodeId to);
+
+  // Invokes `fn` on the destination as one RPC round trip. If delivery
+  // fails, returns the delivery error (fn's return type must be
+  // constructible from Status: Status or StatusOr<T>).
+  template <typename Fn>
+  auto Call(NodeId from, NodeId to, Fn&& fn) -> decltype(fn()) {
+    Status delivery = BeginCall(from, to);
+    if (!delivery.ok()) return delivery;
+    return std::forward<Fn>(fn)();
+  }
+
+  // Stats.
+  uint64_t TotalCalls() const { return total_calls_.load(); }
+  uint64_t CallsTo(NodeId node) const;
+  void ResetStats();
+
+  // Thread-local hop counter: reset before an op, read after, to assert how
+  // many RPCs the op issued.
+  static void ResetThreadHops();
+  static uint64_t ThreadHops();
+
+  const NetOptions& options() const { return options_; }
+  void set_mode(LatencyMode mode) { options_.mode = mode; }
+
+ private:
+  struct Node {
+    std::string name;
+    uint32_t server;
+    std::unique_ptr<std::atomic<uint64_t>> calls;
+  };
+
+  void InjectLatency(NodeId from, NodeId to);
+
+  NetOptions options_;
+  mutable std::mutex mu_;  // guards nodes_ growth and fault sets
+  std::vector<Node> nodes_;
+  std::set<NodeId> down_nodes_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  std::atomic<bool> has_faults_{false};
+  std::atomic<uint64_t> total_calls_{0};
+};
+
+}  // namespace cfs
+
+#endif  // CFS_NET_SIMNET_H_

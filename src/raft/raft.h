@@ -1,0 +1,322 @@
+// Raft consensus (Ongaro & Ousterhout) — the replication substrate beneath
+// every TafDB shard, FileStore node, and the Renamer group (paper §3.2:
+// "we replicate BEs' states in groups, managed and coordinated via the Raft
+// consensus protocol").
+//
+// Implemented features:
+//   - randomized-timeout leader election with term/vote persistence,
+//   - log replication with the AppendEntries consistency check and
+//     conflict-truncation,
+//   - GROUP COMMIT: all proposals that accumulate while a replication round
+//     is in flight ride the next AppendEntries batch and share one WAL
+//     fsync. This batching is what lets a single CFS metadata shard absorb
+//     highly contended single-record updates (paper §4.2) — a property the
+//     contention benchmarks (Fig 11, Fig 12) depend on.
+//   - crash recovery by WAL replay (vote records, entries, truncate marks),
+//   - read barrier for leaders (commit-index wait) for linearizable reads.
+//
+// Not implemented (documented simplifications): membership change,
+// snapshot/log-compaction transfer, pre-vote, leader leases. None of these
+// affect the evaluated metadata path.
+//
+// Threading model: a RaftGroup runs one ticker thread (election timeouts)
+// shared by its replicas; each leader runs one replicator thread per peer.
+// Peer RPCs travel through SimNet and therefore pay simulated network
+// latency and observe partitions.
+
+#ifndef CFS_RAFT_RAFT_H_
+#define CFS_RAFT_RAFT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/net/simnet.h"
+#include "src/wal/wal.h"
+
+namespace cfs {
+
+using Term = uint64_t;
+using LogIndex = uint64_t;
+using ReplicaId = uint32_t;
+
+// Replicated state machine interface. Apply is invoked exactly once per
+// committed entry, in log order, under the raft node's serialization; the
+// returned payload is delivered to the proposer's future (leader only).
+//
+// Machines that opt into log compaction implement Snapshot/Restore:
+// Snapshot serializes the full applied state, Restore replaces the state
+// with a serialized image. The default (empty snapshot) disables
+// compaction for the node.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+  virtual std::string Apply(LogIndex index, std::string_view command) = 0;
+  virtual std::string Snapshot() { return ""; }
+  virtual Status Restore(std::string_view) {
+    return Status::Unimplemented("state machine has no snapshot support");
+  }
+};
+
+enum class RaftRole { kFollower, kCandidate, kLeader };
+
+struct RaftOptions {
+  int64_t election_timeout_min_ms = 150;
+  int64_t election_timeout_max_ms = 300;
+  int64_t heartbeat_interval_ms = 50;
+  size_t max_batch_entries = 512;
+  // Log compaction: once more than this many applied entries accumulate,
+  // the node snapshots its state machine and truncates the log prefix.
+  // SIZE_MAX disables compaction (the default; the GC's change-capture
+  // feed reads the in-memory log, so deployments that compact must size
+  // their GC scan interval below the compaction window).
+  size_t snapshot_threshold = SIZE_MAX;
+  WalOptions wal;
+};
+
+struct LogEntry {
+  Term term = 0;
+  std::string command;
+};
+
+struct VoteRequest {
+  Term term = 0;
+  ReplicaId candidate = 0;
+  LogIndex last_log_index = 0;
+  Term last_log_term = 0;
+};
+
+struct VoteReply {
+  Term term = 0;
+  bool granted = false;
+};
+
+struct AppendRequest {
+  Term term = 0;
+  ReplicaId leader = 0;
+  LogIndex prev_log_index = 0;
+  Term prev_log_term = 0;
+  std::vector<LogEntry> entries;
+  LogIndex leader_commit = 0;
+};
+
+struct AppendReply {
+  Term term = 0;
+  bool success = false;
+  LogIndex match_index = 0;   // on success
+  LogIndex conflict_hint = 0; // on failure: next index to try
+  // Set when the follower's log starts after prev_log_index (compacted):
+  // the leader must ship a snapshot.
+  bool needs_snapshot = false;
+};
+
+struct SnapshotRequest {
+  Term term = 0;
+  ReplicaId leader = 0;
+  LogIndex last_included_index = 0;
+  Term last_included_term = 0;
+  std::string state;  // serialized state machine image
+};
+
+struct SnapshotReply {
+  Term term = 0;
+  bool success = false;
+};
+
+class RaftNode;
+
+struct RaftPeer {
+  ReplicaId id = 0;
+  NodeId net = kInvalidNode;
+  RaftNode* node = nullptr;  // direct handler object; calls go via SimNet
+};
+
+class RaftNode {
+ public:
+  RaftNode(ReplicaId id, NodeId net_id, SimNet* net, StateMachine* sm,
+           RaftOptions options, const Clock* clock = RealClock::Get());
+  ~RaftNode();
+
+  RaftNode(const RaftNode&) = delete;
+  RaftNode& operator=(const RaftNode&) = delete;
+
+  // Peers must be set before Start (self excluded).
+  void SetPeers(std::vector<RaftPeer> peers);
+
+  // Swaps the state machine (used on restart: the machine is rebuilt empty
+  // and the recovered log is re-applied as commit advances).
+  void SetStateMachine(StateMachine* sm);
+
+  // Recovers persistent state from the WAL and begins participating.
+  Status Start();
+  void Stop();
+  // Stop + Start, replaying the WAL (crash/restart in tests).
+  Status Restart();
+
+  // Proposes a command. The future resolves with the Apply() payload once
+  // the entry commits, or with kNotLeader/kAborted on leadership change.
+  std::future<StatusOr<std::string>> Propose(std::string command);
+
+  // Leader read barrier: waits until this leader has applied its
+  // term-start no-op (which implies every entry committed by previous
+  // terms is applied locally) — the standard raft rule for serving
+  // linearizable reads after an election. Fails with kNotLeader on
+  // non-leaders, kTimeout if the no-op cannot commit in time.
+  Status ReadBarrier(int64_t timeout_ms = 2000);
+
+  // Returns committed log commands with index in (from, commit], capped at
+  // `max` — the change-data-capture feed the garbage collector tails
+  // (paper §4.4: "the collector watches the write ahead logs").
+  std::vector<std::pair<LogIndex, std::string>> ReadCommittedSince(
+      LogIndex from, size_t max) const;
+
+  // RPC handlers (invoked by peers through SimNet).
+  VoteReply HandleRequestVote(const VoteRequest& req);
+  AppendReply HandleAppendEntries(const AppendRequest& req);
+  SnapshotReply HandleInstallSnapshot(const SnapshotRequest& req);
+
+  // Test/introspection: first index still present in the in-memory log.
+  LogIndex SnapshotIndex() const;
+
+  // Called periodically by the group ticker.
+  void Tick();
+
+  // Introspection.
+  ReplicaId id() const { return id_; }
+  NodeId net_id() const { return net_id_; }
+  bool IsLeader() const;
+  RaftRole role() const;
+  Term CurrentTerm() const;
+  LogIndex CommitIndex() const;
+  LogIndex LastLogIndex() const;
+  ReplicaId LeaderHint() const;
+  bool running() const { return running_; }
+
+ private:
+  struct Pending {
+    std::promise<StatusOr<std::string>> promise;
+  };
+
+  // --- all Locked methods require mu_ held ---
+  void BecomeFollowerLocked(Term term, bool persist);
+  void BecomeLeaderLocked();
+  void ResetElectionDeadlineLocked();
+  Term LastLogTermLocked() const;
+  void PersistVoteLocked();
+  void ApplyCommittedLocked();
+  void FailPendingLocked(const Status& status);
+  void AdvanceCommitLocked();
+  void TruncateFromLocked(LogIndex from);
+
+  void StartElection();
+  void ReplicatorLoop(size_t peer_index);
+  // --- log-offset helpers (compaction); require mu_ held ---
+  LogIndex LastIndexLocked() const { return snapshot_index_ + log_.size(); }
+  const LogEntry& EntryAtLocked(LogIndex index) const {
+    return log_[index - snapshot_index_ - 1];
+  }
+  Term TermAtLocked(LogIndex index) const {
+    if (index == snapshot_index_) return snapshot_term_;
+    return EntryAtLocked(index).term;
+  }
+  void MaybeSnapshotLocked();
+  void StartReplicatorsLocked();
+  void StopReplicators();
+  // Appends not-yet-durable entries to the WAL with one sync (group commit).
+  void PersistEntriesUpTo(LogIndex index);
+
+  const ReplicaId id_;
+  const NodeId net_id_;
+  SimNet* const net_;
+  StateMachine* sm_;
+  RaftOptions options_;
+  const Clock* clock_;
+  Wal wal_;
+  Rng rng_;
+
+  mutable std::mutex mu_;
+  std::condition_variable repl_cv_;
+  std::condition_variable apply_cv_;
+
+  RaftRole role_ = RaftRole::kFollower;
+  Term term_ = 0;
+  ReplicaId voted_for_ = UINT32_MAX;
+  ReplicaId leader_hint_ = UINT32_MAX;
+  std::vector<LogEntry> log_;  // log_[i] has index snapshot_index_ + i + 1
+  LogIndex snapshot_index_ = 0;  // everything <= this lives in the snapshot
+  Term snapshot_term_ = 0;
+  std::string last_snapshot_state_;  // shipped to lagging followers
+  LogIndex commit_index_ = 0;
+  LogIndex applied_index_ = 0;
+  LogIndex term_start_index_ = 0;  // index of this leader's no-op barrier
+  LogIndex durable_index_ = 0;  // entries persisted to WAL
+  MonoNanos election_deadline_ = 0;
+
+  std::vector<RaftPeer> peers_;
+  std::vector<LogIndex> next_index_;   // per peer
+  std::vector<LogIndex> match_index_;  // per peer
+  std::vector<MonoNanos> last_send_;   // per peer, for heartbeats
+
+  std::map<LogIndex, Pending> pending_;
+
+  std::vector<std::thread> replicators_;
+  bool replicators_should_run_ = false;
+  std::atomic<bool> running_{false};
+};
+
+// A raft replication group: constructs N replicas over SimNet, runs the
+// shared ticker, routes proposals to the current leader.
+class RaftGroup {
+ public:
+  using StateMachineFactory = std::function<std::unique_ptr<StateMachine>(ReplicaId)>;
+
+  // `servers[i]` is the physical server hosting replica i (for SimNet
+  // latency); `name` prefixes node names.
+  RaftGroup(SimNet* net, std::string name, std::vector<uint32_t> servers,
+            StateMachineFactory factory, RaftOptions options,
+            const Clock* clock = RealClock::Get());
+  ~RaftGroup();
+
+  Status Start();
+  void Stop();
+
+  // Blocks until some replica is leader (or timeout).
+  StatusOr<ReplicaId> WaitForLeader(int64_t timeout_ms = 5000);
+
+  // Routes to the leader, retrying across elections until timeout.
+  StatusOr<std::string> Propose(std::string command, int64_t timeout_ms = 5000);
+
+  RaftNode* replica(size_t i) { return nodes_[i].get(); }
+  StateMachine* state_machine(size_t i) { return machines_[i].get(); }
+  size_t size() const { return nodes_.size(); }
+  RaftNode* Leader();
+
+  // Crash/restart a replica (tests).
+  void CrashReplica(size_t i);
+  Status RestartReplica(size_t i);
+
+ private:
+  void TickerLoop();
+
+  SimNet* net_;
+  std::string name_;
+  StateMachineFactory factory_;
+  std::vector<std::unique_ptr<StateMachine>> machines_;
+  std::vector<std::unique_ptr<RaftNode>> nodes_;
+  std::thread ticker_;
+  std::atomic<bool> ticker_run_{false};
+};
+
+}  // namespace cfs
+
+#endif  // CFS_RAFT_RAFT_H_

@@ -1,0 +1,104 @@
+// Renamer — the dedicated service for normal-path (cross-directory or
+// directory-moving) renames (paper §4.3).
+//
+// Fast-path renames (intra-directory, file-to-file — ~99% in production)
+// never reach this service: ClientLib executes them directly with the
+// insert_and_delete_with_update primitive. Everything else is funneled to
+// the Renamer coordinator, which
+//   1. acquires coordinator-local locks on the source entry, destination
+//      entry, and both parent directories (canonically ordered),
+//   2. re-reads and validates both entries from TafDB under those locks,
+//   3. rejects orphaned loops (renaming an ancestor into its own subtree)
+//      by walking the destination's ancestor chain via parent backpointers,
+//   4. executes the cross-shard mutation as deterministically ordered,
+//      id-hint-guarded single-shard primitives with compensation (see the
+//      commentary in Rename() — a deliberate strengthening of the paper's
+//      "conventional locking and 2PC" so normal-path renames are also
+//      robust against concurrent fast-path primitives),
+//   5. cleans up replaced files' attributes in FileStore after commit.
+//
+// The coordinator role is held by the leader of a small raft group (the
+// paper deploys a 3-node Renamer cluster); the group's log is used only for
+// leader election, since all rename state is transient coordination state.
+
+#ifndef CFS_RENAMER_RENAMER_H_
+#define CFS_RENAMER_RENAMER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/filestore/filestore.h"
+#include "src/net/simnet.h"
+#include "src/raft/raft.h"
+#include "src/tafdb/tafdb.h"
+#include "src/txn/lock_manager.h"
+#include "src/txn/two_phase_commit.h"
+
+namespace cfs {
+
+struct RenameRequest {
+  InodeId src_parent = kInvalidInode;
+  std::string src_name;
+  InodeId dst_parent = kInvalidInode;
+  std::string dst_name;
+};
+
+struct RenamerOptions {
+  size_t replicas = 3;
+  RaftOptions raft;
+  int64_t lock_timeout_us = 2000000;
+  // When true (CFS tiered mode), replaced files' attributes live in
+  // FileStore and are deleted there post-commit; otherwise they are TafDB
+  // attribute records handled inside the transaction.
+  bool tiered_attrs = true;
+  // Lock-based deployments (CFS-base / +new-org) synchronize every mutation
+  // through the shards' row-lock managers; the Renamer must take the same
+  // row locks or its writes would slip between their read-modify-write
+  // critical sections.
+  bool use_shard_row_locks = false;
+};
+
+class Renamer {
+ public:
+  Renamer(SimNet* net, std::vector<uint32_t> servers, TafDbCluster* tafdb,
+          FileStoreCluster* filestore, RenamerOptions options);
+
+  Status Start();
+  void Stop();
+
+  // Front door for RPC accounting (the coordinator node).
+  NodeId CoordinatorNetId() const;
+
+  // Executes a normal-path rename. Runs on the caller's thread; the caller
+  // is expected to have routed the RPC via SimNet to CoordinatorNetId().
+  Status Rename(const RenameRequest& req);
+
+  struct Stats {
+    uint64_t fast_rejected = 0;   // requests that were actually fast-path
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    uint64_t loops_detected = 0;
+  };
+  Stats stats() const;
+
+ private:
+  // Walks dst ancestors; returns true if `candidate` appears (loop).
+  StatusOr<bool> IsAncestorOf(InodeId candidate, InodeId node);
+
+  SimNet* net_;
+  TafDbCluster* tafdb_;
+  FileStoreCluster* filestore_;
+  RenamerOptions options_;
+  std::unique_ptr<RaftGroup> group_;  // leader election only
+  LockManager locks_;
+  std::atomic<TxnId> next_txn_{1};
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace cfs
+
+#endif  // CFS_RENAMER_RENAMER_H_

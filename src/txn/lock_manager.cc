@@ -1,0 +1,188 @@
+#include "src/txn/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace cfs {
+namespace {
+
+thread_local int64_t t_wait_us = 0;
+
+}  // namespace
+
+LockManager::LockManager(LockManagerOptions options, const Clock* clock)
+    : options_(options), clock_(clock) {}
+
+bool LockManager::CanGrantLocked(const Entry& e, TxnId txn, LockMode mode,
+                                 uint64_t ticket) const {
+  auto self = e.holders.find(txn);
+  if (self != e.holders.end()) {
+    if (self->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return true;  // reentrant
+    }
+    // Upgrade S -> X: only as the sole holder; upgrades may jump the queue
+    // (queued writers would otherwise deadlock against us).
+    return e.holders.size() == 1;
+  }
+  if (mode == LockMode::kShared) {
+    for (const auto& [holder, held_mode] : e.holders) {
+      if (held_mode == LockMode::kExclusive) return false;
+    }
+    // Don't overtake an earlier-queued writer (starvation control).
+    for (const auto& w : e.queue) {
+      if (w.ticket >= ticket) break;
+      if (w.mode == LockMode::kExclusive) return false;
+    }
+    return true;
+  }
+  // Exclusive: no other holders and nobody queued ahead.
+  if (!e.holders.empty()) return false;
+  for (const auto& w : e.queue) {
+    if (w.ticket < ticket) return false;
+    break;
+  }
+  return true;
+}
+
+Status LockManager::Lock(TxnId txn, std::string_view key, LockMode mode,
+                         int64_t timeout_us) {
+  if (timeout_us < 0) timeout_us = options_.default_timeout_us;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto& entry = table_[std::string(key)];
+
+  // Fast path.
+  if (CanGrantLocked(entry, txn, mode, next_ticket_)) {
+    auto [it, inserted] = entry.holders.emplace(txn, mode);
+    if (!inserted && mode == LockMode::kExclusive) {
+      it->second = LockMode::kExclusive;  // upgrade
+    }
+    held_[txn].insert(std::string(key));
+    stats_.acquisitions++;
+    return Status::Ok();
+  }
+
+  // Contended: enqueue and wait.
+  uint64_t ticket = next_ticket_++;
+  entry.queue.push_back(Waiter{txn, mode, ticket});
+  stats_.contended_acquisitions++;
+  MonoNanos start = clock_->NowNanos();
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(timeout_us);
+  bool granted = false;
+  while (!granted) {
+    auto& e = table_[std::string(key)];
+    if (CanGrantLocked(e, txn, mode, ticket)) {
+      granted = true;
+      break;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      auto& e2 = table_[std::string(key)];
+      if (CanGrantLocked(e2, txn, mode, ticket)) {
+        granted = true;
+        break;
+      }
+      // Remove our waiter entry and give up.
+      auto& q = e2.queue;
+      q.erase(std::remove_if(q.begin(), q.end(),
+                             [&](const Waiter& w) { return w.ticket == ticket; }),
+              q.end());
+      stats_.timeouts++;
+      int64_t waited = (clock_->NowNanos() - start) / 1000;
+      stats_.total_wait_us += waited;
+      t_wait_us += waited;
+      cv_.notify_all();
+      return Status::Timeout("lock timeout on " + std::string(key));
+    }
+  }
+  auto& e = table_[std::string(key)];
+  auto& q = e.queue;
+  q.erase(std::remove_if(q.begin(), q.end(),
+                         [&](const Waiter& w) { return w.ticket == ticket; }),
+          q.end());
+  auto [it, inserted] = e.holders.emplace(txn, mode);
+  if (!inserted && mode == LockMode::kExclusive) {
+    it->second = LockMode::kExclusive;
+  }
+  held_[txn].insert(std::string(key));
+  stats_.acquisitions++;
+  int64_t waited = (clock_->NowNanos() - start) / 1000;
+  stats_.total_wait_us += waited;
+  t_wait_us += waited;
+  // Our grant may unblock compatible readers queued behind us.
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+Status LockManager::LockAll(TxnId txn, std::vector<std::string> keys,
+                            LockMode mode, int64_t timeout_us) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<std::string> acquired;
+  for (const auto& key : keys) {
+    Status st = Lock(txn, key, mode, timeout_us);
+    if (!st.ok()) {
+      for (const auto& k : acquired) {
+        Unlock(txn, k);
+      }
+      return st;
+    }
+    acquired.push_back(key);
+  }
+  return Status::Ok();
+}
+
+void LockManager::Unlock(TxnId txn, std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return;
+  it->second.holders.erase(txn);
+  auto hit = held_.find(txn);
+  if (hit != held_.end()) {
+    hit->second.erase(std::string(key));
+    if (hit->second.empty()) held_.erase(hit);
+  }
+  if (it->second.holders.empty() && it->second.queue.empty()) {
+    table_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+void LockManager::UnlockAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto hit = held_.find(txn);
+  if (hit == held_.end()) return;
+  for (const auto& key : hit->second) {
+    auto it = table_.find(key);
+    if (it == table_.end()) continue;
+    it->second.holders.erase(txn);
+    if (it->second.holders.empty() && it->second.queue.empty()) {
+      table_.erase(it);
+    }
+  }
+  held_.erase(hit);
+  cv_.notify_all();
+}
+
+bool LockManager::IsLocked(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(key);
+  return it != table_.end() && !it->second.holders.empty();
+}
+
+size_t LockManager::HeldCount(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+void LockManager::ResetThreadWait() { t_wait_us = 0; }
+int64_t LockManager::ThreadWaitMicros() { return t_wait_us; }
+void LockManager::AddThreadWait(int64_t micros) { t_wait_us += micros; }
+
+LockManager::Stats LockManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cfs

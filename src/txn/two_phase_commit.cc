@@ -1,0 +1,73 @@
+#include "src/txn/two_phase_commit.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace cfs {
+
+Status TwoPhaseCommit::Run(NodeId coordinator,
+                           const std::vector<TxnParticipant*>& participants,
+                           TxnId txn) {
+  // Deduplicate participants (a txn may buffer writes on one shard through
+  // several logical tables).
+  std::vector<TxnParticipant*> unique = participants;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  // Each phase fans out to every participant in parallel (the round-trip
+  // latency of a phase is one RPC + one replicated write, not their sum).
+  auto fan_out = [&](const std::function<Status(TxnParticipant*)>& phase)
+      -> std::vector<Status> {
+    std::vector<Status> results(unique.size());
+    if (unique.size() == 1) {
+      results[0] = net_->Call(coordinator, unique[0]->ParticipantNetId(),
+                              [&] { return phase(unique[0]); });
+      return results;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(unique.size());
+    for (size_t i = 0; i < unique.size(); i++) {
+      threads.emplace_back([&, i] {
+        results[i] = net_->Call(coordinator, unique[i]->ParticipantNetId(),
+                                [&] { return phase(unique[i]); });
+      });
+    }
+    for (auto& t : threads) t.join();
+    return results;
+  };
+
+  // Phase 1: prepare.
+  Status failure = Status::Ok();
+  auto votes = fan_out([txn](TxnParticipant* p) { return p->Prepare(txn); });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.prepare_rpcs += unique.size();
+  }
+  for (const Status& vote : votes) {
+    if (!vote.ok()) failure = vote;
+  }
+
+  // Phase 2: decision.
+  if (failure.ok()) {
+    (void)fan_out([txn](TxnParticipant* p) { return p->Commit(txn); });
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.decision_rpcs += unique.size();
+    stats_.committed++;
+    return Status::Ok();
+  }
+  (void)fan_out([txn](TxnParticipant* p) { return p->Abort(txn); });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.decision_rpcs += unique.size();
+    stats_.aborted++;
+  }
+  return failure;
+}
+
+TwoPcStats TwoPhaseCommit::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cfs

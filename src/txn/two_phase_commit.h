@@ -1,0 +1,61 @@
+// Two-phase commit coordinator — the cross-shard atomic-commit protocol the
+// baselines (HopsFS for every multi-shard transaction, InfiniFS for
+// mkdir/rmdir/rename) pay on their critical paths, and that CFS confines to
+// the Renamer's normal-path renames (§4.3).
+//
+// Every Prepare/Commit/Abort is one SimNet RPC from the coordinator to the
+// participant, so the protocol's latency shows up faithfully in benches.
+
+#ifndef CFS_TXN_TWO_PHASE_COMMIT_H_
+#define CFS_TXN_TWO_PHASE_COMMIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/simnet.h"
+#include "src/txn/lock_manager.h"
+
+namespace cfs {
+
+// A shard-side participant in a distributed transaction. Implementations
+// buffer writes under `txn`, vote in Prepare, and make them visible in
+// Commit (or drop them in Abort).
+class TxnParticipant {
+ public:
+  virtual ~TxnParticipant() = default;
+  virtual Status Prepare(TxnId txn) = 0;
+  virtual Status Commit(TxnId txn) = 0;
+  virtual Status Abort(TxnId txn) = 0;
+  virtual NodeId ParticipantNetId() const = 0;
+};
+
+struct TwoPcStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t prepare_rpcs = 0;
+  uint64_t decision_rpcs = 0;
+};
+
+class TwoPhaseCommit {
+ public:
+  explicit TwoPhaseCommit(SimNet* net) : net_(net) {}
+
+  // Runs the protocol from `coordinator` over the participants. If any
+  // prepare fails, aborts everywhere and returns the failing status.
+  // Participants co-located on one shard are deduplicated by net id.
+  Status Run(NodeId coordinator, const std::vector<TxnParticipant*>& participants,
+             TxnId txn);
+
+  TwoPcStats stats() const;
+
+ private:
+  SimNet* net_;
+  mutable std::mutex mu_;
+  TwoPcStats stats_;
+};
+
+}  // namespace cfs
+
+#endif  // CFS_TXN_TWO_PHASE_COMMIT_H_

@@ -1,0 +1,320 @@
+#include "src/workload/traces.h"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "src/common/clock.h"
+
+namespace cfs {
+
+std::string_view FsOpName(FsOp op) {
+  switch (op) {
+    case FsOp::kRead: return "read";
+    case FsOp::kWrite: return "write";
+    case FsOp::kOpen: return "open";
+    case FsOp::kOpenCreat: return "open(O_CREAT)";
+    case FsOp::kStat: return "stat";
+    case FsOp::kOpendir: return "opendir";
+    case FsOp::kUnlink: return "unlink";
+    case FsOp::kRename: return "rename";
+    case FsOp::kMkdir: return "mkdir";
+    case FsOp::kChmod: return "chmod/chown";
+  }
+  return "?";
+}
+
+// Table 3 compositions, and size CDFs anchored on the Fig 14 figures
+// (75.27% / 91.34% / 87.51% of files <= 32KB; up to 96.37% of IOs <= 32KB
+// with 45.20-70.70% <= 1KB).
+
+TraceSpec TraceTr0() {
+  TraceSpec spec;
+  spec.name = "tr-0";
+  spec.mix = {
+      {FsOp::kRead, 17.8},
+      {FsOp::kOpendir, 6.0},
+      {FsOp::kStat, 51.8},
+      {FsOp::kOpen, 24.4},
+  };
+  spec.file_size_cdf = {{1 << 10, 0.30}, {4 << 10, 0.52},
+                        {32 << 10, 0.7527}, {256 << 10, 0.93},
+                        {1 << 20, 1.0}};
+  spec.io_size_cdf = {{1 << 10, 0.452}, {4 << 10, 0.71},
+                      {32 << 10, 0.9637}, {256 << 10, 1.0}};
+  return spec;
+}
+
+TraceSpec TraceTr1() {
+  TraceSpec spec;
+  spec.name = "tr-1";
+  spec.mix = {
+      {FsOp::kRead, 11.6},   {FsOp::kWrite, 8.2},
+      {FsOp::kOpen, 3.1},    {FsOp::kOpenCreat, 8.4},
+      {FsOp::kStat, 47.2},   {FsOp::kOpendir, 13.1},
+      {FsOp::kUnlink, 8.0},  {FsOp::kRename, 0.3},
+  };
+  spec.file_size_cdf = {{1 << 10, 0.46}, {4 << 10, 0.72},
+                        {32 << 10, 0.9134}, {256 << 10, 0.98},
+                        {1 << 20, 1.0}};
+  spec.io_size_cdf = {{1 << 10, 0.707}, {4 << 10, 0.85},
+                      {32 << 10, 0.955}, {256 << 10, 1.0}};
+  return spec;
+}
+
+TraceSpec TraceTr2() {
+  TraceSpec spec;
+  spec.name = "tr-2";
+  spec.mix = {
+      {FsOp::kWrite, 6.3},  {FsOp::kRead, 1.0},
+      {FsOp::kOpen, 5.6},   {FsOp::kOpenCreat, 6.2},
+      {FsOp::kStat, 49.3},  {FsOp::kChmod, 6.2},
+      {FsOp::kUnlink, 5.1}, {FsOp::kOpendir, 19.0},
+      {FsOp::kMkdir, 1.3},
+  };
+  spec.file_size_cdf = {{1 << 10, 0.38}, {4 << 10, 0.66},
+                        {32 << 10, 0.8751}, {256 << 10, 0.97},
+                        {1 << 20, 1.0}};
+  spec.io_size_cdf = {{1 << 10, 0.60}, {4 << 10, 0.80},
+                      {32 << 10, 0.94}, {256 << 10, 1.0}};
+  return spec;
+}
+
+std::vector<TraceSpec> AllTraces() {
+  return {TraceTr0(), TraceTr1(), TraceTr2()};
+}
+
+uint64_t SampleSize(const SizeCdf& cdf, Rng& rng) {
+  double u = rng.NextDouble();
+  uint64_t lower = 1;
+  double prev = 0;
+  for (const auto& [bound, frac] : cdf) {
+    if (u <= frac) {
+      // Log-uniform within the bucket [lower, bound].
+      double lo = std::log2(static_cast<double>(lower));
+      double hi = std::log2(static_cast<double>(bound));
+      double pos = prev < frac ? (u - prev) / (frac - prev) : 0.5;
+      return static_cast<uint64_t>(std::exp2(lo + pos * (hi - lo)));
+    }
+    lower = bound;
+    prev = frac;
+  }
+  return cdf.empty() ? 1 : cdf.back().first;
+}
+
+double CdfAt(const SizeCdf& cdf, uint64_t bound) {
+  double last = 0;
+  for (const auto& [b, frac] : cdf) {
+    if (b > bound) break;
+    last = frac;
+  }
+  return last;
+}
+
+std::vector<MetaOpShare> Table1OpShares() {
+  // Table 1 of the paper: aggregated metadata-op ratios across the nine
+  // production workloads.
+  return {
+      {"create", 1.44},  {"lookup", 17.80}, {"unlink", 1.14},
+      {"getattr", 75.25}, {"mkdir", 0.08},   {"setattr", 3.21},
+      {"rmdir", 0.04},   {"readdir", 0.92}, {"rename", 0.12},
+  };
+}
+
+std::string TraceReplayer::DirPath(size_t d) const {
+  return "/" + spec_.name + "-d" + std::to_string(d);
+}
+
+std::string TraceReplayer::FilePath(size_t d, size_t f) const {
+  return DirPath(d) + "/f" + std::to_string(f);
+}
+
+Status TraceReplayer::Prepare(MetadataClient* setup_client,
+                              std::vector<MetadataClient*> populate_clients) {
+  for (size_t d = 0; d < config_.num_dirs; d++) {
+    Status st = setup_client->Mkdir(DirPath(d), 0755);
+    if (!st.ok() && !st.IsAlreadyExists()) return st;
+  }
+  // Populate files (with initial content drawn from the file-size CDF,
+  // capped so single-machine replay stays bounded).
+  std::atomic<bool> failed{false};
+  std::mutex fail_mu;
+  Status first_failure;
+  std::vector<std::thread> threads;
+  size_t total = config_.num_dirs * config_.files_per_dir;
+  size_t per = (total + populate_clients.size() - 1) / populate_clients.size();
+  for (size_t t = 0; t < populate_clients.size(); t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x7ace5eed + t);
+      size_t begin = t * per;
+      size_t end = std::min(total, begin + per);
+      for (size_t i = begin; i < end && !failed.load(); i++) {
+        size_t d = i / config_.files_per_dir;
+        size_t f = i % config_.files_per_dir;
+        std::string path = FilePath(d, f);
+        Status st = populate_clients[t]->Create(path, 0644);
+        if (!st.ok() && !st.IsAlreadyExists()) {
+          std::lock_guard<std::mutex> lock(fail_mu);
+          first_failure = st;
+          failed.store(true);
+          return;
+        }
+        uint64_t size = SampleSize(spec_.file_size_cdf, rng);
+        std::string payload(
+            std::min<uint64_t>(size, config_.io_cap_bytes), 'x');
+        Status wst = populate_clients[t]->Write(path, 0, payload);
+        if (!wst.ok()) {
+          std::lock_guard<std::mutex> lock(fail_mu);
+          first_failure = wst;
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  if (failed.load()) {
+    return Status(first_failure.code(),
+                  "trace populate failed: " + first_failure.ToString());
+  }
+  return Status::Ok();
+}
+
+TraceReplayResult TraceReplayer::Replay(
+    std::vector<std::unique_ptr<MetadataClient>> clients) {
+  std::vector<double> weights;
+  std::vector<FsOp> ops;
+  for (const auto& [op, pct] : spec_.mix) {
+    ops.push_back(op);
+    weights.push_back(pct);
+  }
+  WeightedChoice choice(weights);
+
+  std::atomic<bool> warming{config_.warmup_ms > 0};
+  std::atomic<bool> running{true};
+  std::atomic<uint64_t> fs_ops{0}, meta_ops{0}, errors{0};
+  StripedHistogram fs_latency(clients.size());
+  StripedHistogram meta_latency(clients.size());
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < clients.size(); t++) {
+    threads.emplace_back([&, t] {
+      MetadataClient* client = clients[t].get();
+      Rng rng(0x0ddba11 + t * 977);
+      uint64_t seq = 0;
+      uint64_t local_fs = 0, local_meta = 0, local_err = 0;
+      while (running.load(std::memory_order_relaxed)) {
+        FsOp op = ops[choice.Next(rng)];
+        size_t d = rng.Uniform(config_.num_dirs);
+        size_t f = rng.Uniform(config_.files_per_dir);
+        std::string path = FilePath(d, f);
+        uint64_t meta_in_op = 1;
+        Status st;
+        Stopwatch sw;
+        switch (op) {
+          case FsOp::kStat: {
+            // stat = lookup + getattr (§5.8).
+            st = client->GetAttr(path).status();
+            meta_in_op = 2;
+            break;
+          }
+          case FsOp::kOpen:
+            st = client->Lookup(path).status();
+            break;
+          case FsOp::kOpenCreat: {
+            std::string fresh = DirPath(d) + "/t" + std::to_string(t) + "_" +
+                                std::to_string(seq);
+            st = client->Create(fresh, 0644);
+            meta_in_op = 2;  // lookup + create
+            break;
+          }
+          case FsOp::kRead: {
+            auto info = client->GetAttr(path);  // freshness check
+            st = info.status();
+            if (st.ok()) {
+              uint64_t len = std::min<uint64_t>(
+                  SampleSize(spec_.io_size_cdf, rng), config_.io_cap_bytes);
+              st = client->Read(path, 0, len).status();
+              if (st.IsNotFound()) st = Status::Ok();  // EOF/hole
+            }
+            meta_in_op = 1;  // getattr
+            break;
+          }
+          case FsOp::kWrite: {
+            uint64_t len = std::min<uint64_t>(
+                SampleSize(spec_.io_size_cdf, rng), config_.io_cap_bytes);
+            st = client->Write(path, 0, std::string(len, 'w'));
+            meta_in_op = 1;  // attribute merge
+            break;
+          }
+          case FsOp::kOpendir:
+            st = client->ReadDir(DirPath(d)).status();
+            break;
+          case FsOp::kUnlink: {
+            std::string victim = DirPath(d) + "/v" + std::to_string(t) + "_" +
+                                 std::to_string(seq);
+            st = client->Create(victim, 0644);
+            if (st.ok()) st = client->Unlink(victim);
+            meta_in_op = 2;  // create + unlink
+            break;
+          }
+          case FsOp::kRename: {
+            std::string a = DirPath(d) + "/rn" + std::to_string(t) + "_" +
+                            std::to_string(seq);
+            st = client->Create(a, 0644);
+            if (st.ok()) st = client->Rename(a, a + "_renamed");
+            if (st.ok()) st = client->Unlink(a + "_renamed");
+            meta_in_op = 3;
+            break;
+          }
+          case FsOp::kMkdir: {
+            st = client->Mkdir(DirPath(d) + "/m" + std::to_string(t) + "_" +
+                                   std::to_string(seq),
+                               0755);
+            break;
+          }
+          case FsOp::kChmod: {
+            SetAttrSpec spec;
+            spec.mode = 0640;
+            st = client->SetAttr(path, spec);
+            break;
+          }
+        }
+        int64_t us = sw.ElapsedMicros();
+        seq++;
+        if (!warming.load(std::memory_order_relaxed)) {
+          fs_latency.Record(t, us);
+          meta_latency.Record(t, us / static_cast<int64_t>(meta_in_op));
+          local_fs += 1;
+          local_meta += meta_in_op;
+          if (!st.ok()) local_err++;
+        }
+      }
+      fs_ops.fetch_add(local_fs);
+      meta_ops.fetch_add(local_meta);
+      errors.fetch_add(local_err);
+    });
+  }
+
+  if (config_.warmup_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.warmup_ms));
+    warming.store(false);
+  }
+  Stopwatch window;
+  std::this_thread::sleep_for(std::chrono::milliseconds(config_.duration_ms));
+  double seconds = window.ElapsedSeconds();
+  running.store(false);
+  for (auto& th : threads) th.join();
+
+  TraceReplayResult result;
+  result.fs_ops = fs_ops.load();
+  result.meta_ops = meta_ops.load();
+  result.errors = errors.load();
+  result.seconds = seconds;
+  result.fs_latency = fs_latency.Aggregate();
+  result.meta_latency = meta_latency.Aggregate();
+  return result;
+}
+
+}  // namespace cfs

@@ -1,0 +1,214 @@
+// Semantics tests for the two baseline systems. The baselines must be
+// POSIX-correct (modulo documented HDFS-style limits) so the benchmark
+// comparisons measure architecture, not bugs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/baselines/hopsfs/hopsfs.h"
+#include "src/baselines/infinifs/infinifs.h"
+
+namespace cfs {
+namespace {
+
+BaselineOptions SmallBaseline() {
+  BaselineOptions options;
+  options.num_servers = 6;
+  options.num_proxies = 2;
+  options.tafdb.num_shards = 3;
+  options.tafdb.raft.election_timeout_min_ms = 50;
+  options.tafdb.raft.election_timeout_max_ms = 100;
+  options.tafdb.raft.heartbeat_interval_ms = 20;
+  options.filestore.num_nodes = 2;
+  options.filestore.raft = options.tafdb.raft;
+  return options;
+}
+
+// Type-erased handle so one test suite covers both systems.
+struct SystemHandle {
+  std::function<std::unique_ptr<MetadataClient>()> new_client;
+  std::function<void()> stop;
+  bool supports_hard_links = false;
+};
+
+SystemHandle MakeHopsFs() {
+  auto cluster = std::make_shared<HopsFsCluster>("hopsfs", SmallBaseline());
+  EXPECT_TRUE(cluster->Start().ok());
+  return SystemHandle{
+      [cluster] { return cluster->NewClient(); },
+      [cluster] { cluster->Stop(); },
+      false,
+  };
+}
+
+SystemHandle MakeInfiniFs() {
+  auto cluster = std::make_shared<InfiniFsCluster>("infinifs", SmallBaseline());
+  EXPECT_TRUE(cluster->Start().ok());
+  return SystemHandle{
+      [cluster] { return cluster->NewClient(); },
+      [cluster] { cluster->Stop(); },
+      false,
+  };
+}
+
+class BaselineTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    handle_ = GetParam() == 0 ? MakeHopsFs() : MakeInfiniFs();
+    client_ = handle_.new_client();
+  }
+  void TearDown() override {
+    client_.reset();
+    handle_.stop();
+  }
+
+  SystemHandle handle_;
+  std::unique_ptr<MetadataClient> client_;
+};
+
+TEST_P(BaselineTest, BasicNamespaceOps) {
+  ASSERT_TRUE(client_->Mkdir("/dir", 0755).ok());
+  ASSERT_TRUE(client_->Create("/dir/file", 0644).ok());
+  auto info = client_->GetAttr("/dir/file");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->type, InodeType::kFile);
+  EXPECT_EQ(info->mode, 0644u);
+
+  auto dir = client_->GetAttr("/dir");
+  ASSERT_TRUE(dir.ok());
+  EXPECT_TRUE(dir->IsDirectory());
+  EXPECT_EQ(dir->children, 1);
+
+  auto entries = client_->ReadDir("/dir");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "file");
+
+  ASSERT_TRUE(client_->Unlink("/dir/file").ok());
+  EXPECT_TRUE(client_->GetAttr("/dir/file").status().IsNotFound());
+  ASSERT_TRUE(client_->Rmdir("/dir").ok());
+  EXPECT_TRUE(client_->GetAttr("/dir").status().IsNotFound());
+}
+
+TEST_P(BaselineTest, ErrorSemantics) {
+  ASSERT_TRUE(client_->Mkdir("/d", 0755).ok());
+  ASSERT_TRUE(client_->Create("/d/f", 0644).ok());
+  EXPECT_TRUE(client_->Create("/d/f", 0644).IsAlreadyExists());
+  EXPECT_TRUE(client_->Mkdir("/d", 0755).IsAlreadyExists());
+  EXPECT_TRUE(client_->GetAttr("/nope").status().IsNotFound());
+  EXPECT_EQ(client_->Unlink("/d").code(), ErrorCode::kIsADirectory);
+  EXPECT_EQ(client_->Rmdir("/d/f").code(), ErrorCode::kNotADirectory);
+  EXPECT_EQ(client_->Rmdir("/d").code(), ErrorCode::kNotEmpty);
+}
+
+TEST_P(BaselineTest, SetAttrRoundTrip) {
+  ASSERT_TRUE(client_->Create("/f", 0644).ok());
+  SetAttrSpec spec;
+  spec.mode = 0640;
+  spec.uid = 3;
+  ASSERT_TRUE(client_->SetAttr("/f", spec).ok());
+  auto info = client_->GetAttr("/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->mode, 0640u);
+  EXPECT_EQ(info->uid, 3u);
+}
+
+TEST_P(BaselineTest, RenameIntraAndCrossDirectory) {
+  ASSERT_TRUE(client_->Mkdir("/a", 0755).ok());
+  ASSERT_TRUE(client_->Mkdir("/b", 0755).ok());
+  ASSERT_TRUE(client_->Create("/a/x", 0644).ok());
+
+  ASSERT_TRUE(client_->Rename("/a/x", "/a/y").ok());
+  EXPECT_TRUE(client_->GetAttr("/a/x").status().IsNotFound());
+  EXPECT_TRUE(client_->GetAttr("/a/y").ok());
+
+  ASSERT_TRUE(client_->Rename("/a/y", "/b/z").ok());
+  EXPECT_TRUE(client_->GetAttr("/b/z").ok());
+  auto a = client_->GetAttr("/a");
+  auto b = client_->GetAttr("/b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->children, 0);
+  EXPECT_EQ(b->children, 1);
+}
+
+TEST_P(BaselineTest, RenameDirectoryAndLoopRejection) {
+  ASSERT_TRUE(client_->Mkdir("/p", 0755).ok());
+  ASSERT_TRUE(client_->Mkdir("/p/sub", 0755).ok());
+  ASSERT_TRUE(client_->Create("/p/sub/f", 0644).ok());
+  ASSERT_TRUE(client_->Mkdir("/q", 0755).ok());
+
+  EXPECT_EQ(client_->Rename("/p", "/p/sub/evil").code(),
+            ErrorCode::kInvalidArgument);
+  ASSERT_TRUE(client_->Rename("/p/sub", "/q/moved").ok());
+  EXPECT_TRUE(client_->GetAttr("/q/moved/f").ok());
+  EXPECT_TRUE(client_->GetAttr("/p/sub").status().IsNotFound());
+}
+
+TEST_P(BaselineTest, RenameOverwriteFile) {
+  ASSERT_TRUE(client_->Mkdir("/ow", 0755).ok());
+  ASSERT_TRUE(client_->Create("/ow/src", 0644).ok());
+  ASSERT_TRUE(client_->Create("/ow/dst", 0644).ok());
+  auto src = client_->GetAttr("/ow/src");
+  ASSERT_TRUE(src.ok());
+  ASSERT_TRUE(client_->Rename("/ow/src", "/ow/dst").ok());
+  auto dst = client_->GetAttr("/ow/dst");
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(dst->id, src->id);
+  auto parent = client_->GetAttr("/ow");
+  ASSERT_TRUE(parent.ok());
+  EXPECT_EQ(parent->children, 1);
+}
+
+TEST_P(BaselineTest, SymlinkSupportedHardLinkRefused) {
+  ASSERT_TRUE(client_->Create("/t", 0644).ok());
+  ASSERT_TRUE(client_->Symlink("/t", "/l").ok());
+  auto target = client_->ReadLink("/l");
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, "/t");
+  EXPECT_EQ(client_->Link("/t", "/h").code(), ErrorCode::kUnimplemented);
+}
+
+TEST_P(BaselineTest, DataPathWriteRead) {
+  ASSERT_TRUE(client_->Create("/blob", 0644).ok());
+  ASSERT_TRUE(client_->Write("/blob", 0, "payload-123").ok());
+  auto data = client_->Read("/blob", 0, 11);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "payload-123");
+}
+
+TEST_P(BaselineTest, ConcurrentCreatesPreserveChildrenCount) {
+  ASSERT_TRUE(client_->Mkdir("/conc", 0755).ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10;
+  std::vector<std::unique_ptr<MetadataClient>> clients;
+  for (int t = 0; t < kThreads; t++) clients.push_back(handle_.new_client());
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        std::string path =
+            "/conc/f" + std::to_string(t) + "_" + std::to_string(i);
+        if (clients[t]->Create(path, 0644).ok()) ok++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  auto parent = client_->GetAttr("/conc");
+  ASSERT_TRUE(parent.ok());
+  // Locks (not merges) protect the baselines' counters; still no lost
+  // updates allowed.
+  EXPECT_EQ(parent->children, kThreads * kPerThread);
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, BaselineTest, ::testing::Values(0, 1),
+                         [](const ::testing::TestParamInfo<int>& param) {
+                           return param.param == 0 ? "HopsFS" : "InfiniFS";
+                         });
+
+}  // namespace
+}  // namespace cfs

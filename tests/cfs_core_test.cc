@@ -1,0 +1,541 @@
+// End-to-end tests of the assembled CFS system: every metadata operation,
+// POSIX error semantics, rename fast/normal paths, orphan-loop rejection,
+// client cache behaviour, concurrency, and crash-window garbage collection.
+//
+// The operation suite runs against all four Fig 13 configurations
+// (CFS-base, +new-org, +primitives, full CFS) via TEST_P, so the lock-based
+// and primitive-based execution paths are held to identical semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/core/cfs.h"
+#include "src/core/gc.h"
+
+namespace cfs {
+namespace {
+
+CfsOptions SmallCluster(CfsOptions options) {
+  options.num_servers = 6;
+  options.num_proxies = 2;
+  options.tafdb.num_shards = 2;
+  options.tafdb.range_stripe_width = 4;
+  options.tafdb.raft.election_timeout_min_ms = 50;
+  options.tafdb.raft.election_timeout_max_ms = 100;
+  options.tafdb.raft.heartbeat_interval_ms = 20;
+  options.filestore.num_nodes = 2;
+  options.filestore.raft = options.tafdb.raft;
+  options.renamer.raft = options.tafdb.raft;
+  options.gc_interval_ms = 50;
+  options.gc_grace_ms = 100;
+  return options;
+}
+
+struct Variant {
+  const char* name;
+  CfsOptions (*make)();
+};
+
+constexpr Variant kVariants[] = {
+    {"CfsBase", CfsBaseOptions},
+    {"NewOrg", CfsNewOrgOptions},
+    {"Primitives", CfsPrimitivesOptions},
+    {"FullCfs", CfsFullOptions},
+};
+
+class CfsVariantTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    fs_ = std::make_unique<Cfs>(SmallCluster(kVariants[GetParam()].make()));
+    ASSERT_TRUE(fs_->Start().ok());
+    client_ = fs_->NewClient();
+  }
+
+  void TearDown() override {
+    client_.reset();
+    fs_->Stop();
+  }
+
+  std::unique_ptr<Cfs> fs_;
+  std::unique_ptr<MetadataClient> client_;
+};
+
+TEST_P(CfsVariantTest, MkdirCreateLookupGetattr) {
+  ASSERT_TRUE(client_->Mkdir("/dir", 0755).ok());
+  ASSERT_TRUE(client_->Create("/dir/file", 0644).ok());
+
+  auto dir = client_->GetAttr("/dir");
+  ASSERT_TRUE(dir.ok());
+  EXPECT_TRUE(dir->IsDirectory());
+  EXPECT_EQ(dir->children, 1);
+  EXPECT_EQ(dir->mode, 0755u);
+
+  auto file = client_->GetAttr("/dir/file");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->type, InodeType::kFile);
+  EXPECT_EQ(file->mode, 0644u);
+  EXPECT_EQ(file->links, 1);
+  EXPECT_EQ(file->size, 0);
+
+  auto looked = client_->Lookup("/dir/file");
+  ASSERT_TRUE(looked.ok());
+  EXPECT_EQ(looked->id, file->id);
+
+  auto root = client_->GetAttr("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_GE(root->children, 1);
+}
+
+TEST_P(CfsVariantTest, PosixErrorSemantics) {
+  ASSERT_TRUE(client_->Mkdir("/d", 0755).ok());
+  ASSERT_TRUE(client_->Create("/d/f", 0644).ok());
+
+  // EEXIST
+  EXPECT_TRUE(client_->Mkdir("/d", 0755).IsAlreadyExists());
+  EXPECT_TRUE(client_->Create("/d/f", 0644).IsAlreadyExists());
+  // ENOENT
+  EXPECT_TRUE(client_->Create("/missing/x", 0644).IsNotFound());
+  EXPECT_TRUE(client_->GetAttr("/d/missing").status().IsNotFound());
+  EXPECT_TRUE(client_->Unlink("/d/missing").IsNotFound());
+  EXPECT_TRUE(client_->Rmdir("/missing").IsNotFound());
+  // ENOTDIR: path component is a file
+  EXPECT_EQ(client_->Create("/d/f/sub", 0644).code(),
+            ErrorCode::kNotADirectory);
+  EXPECT_EQ(client_->Rmdir("/d/f").code(), ErrorCode::kNotADirectory);
+  // EISDIR
+  EXPECT_EQ(client_->Unlink("/d").code(), ErrorCode::kIsADirectory);
+  // ENOTEMPTY
+  EXPECT_EQ(client_->Rmdir("/d").code(), ErrorCode::kNotEmpty);
+
+  ASSERT_TRUE(client_->Unlink("/d/f").ok());
+  EXPECT_TRUE(client_->Rmdir("/d").ok());
+  EXPECT_TRUE(client_->GetAttr("/d").status().IsNotFound());
+}
+
+TEST_P(CfsVariantTest, UnlinkDecrementsParentAndRemovesAttr) {
+  ASSERT_TRUE(client_->Mkdir("/u", 0755).ok());
+  ASSERT_TRUE(client_->Create("/u/a", 0644).ok());
+  ASSERT_TRUE(client_->Create("/u/b", 0644).ok());
+  auto before = client_->GetAttr("/u");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->children, 2);
+
+  ASSERT_TRUE(client_->Unlink("/u/a").ok());
+  auto after = client_->GetAttr("/u");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->children, 1);
+  EXPECT_TRUE(client_->GetAttr("/u/a").status().IsNotFound());
+
+  // The attribute record must eventually disappear from its tier.
+  fs_->filestore()->DrainAsync();
+}
+
+TEST_P(CfsVariantTest, SetAttrChmodChownTruncate) {
+  ASSERT_TRUE(client_->Create("/file", 0644).ok());
+  SetAttrSpec spec;
+  spec.mode = 0600;
+  spec.uid = 7;
+  spec.gid = 8;
+  ASSERT_TRUE(client_->SetAttr("/file", spec).ok());
+  auto info = client_->GetAttr("/file");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->mode, 0600u);
+  EXPECT_EQ(info->uid, 7u);
+  EXPECT_EQ(info->gid, 8u);
+
+  SetAttrSpec trunc;
+  trunc.size = 0;
+  ASSERT_TRUE(client_->SetAttr("/file", trunc).ok());
+  // Directory setattr goes to TafDB in every variant.
+  ASSERT_TRUE(client_->Mkdir("/sd", 0700).ok());
+  SetAttrSpec dmode;
+  dmode.mode = 0711;
+  ASSERT_TRUE(client_->SetAttr("/sd", dmode).ok());
+  auto dinfo = client_->GetAttr("/sd");
+  ASSERT_TRUE(dinfo.ok());
+  EXPECT_EQ(dinfo->mode, 0711u);
+}
+
+TEST_P(CfsVariantTest, ReadDirListsSorted) {
+  ASSERT_TRUE(client_->Mkdir("/list", 0755).ok());
+  for (const char* name : {"zeta", "alpha", "mid"}) {
+    ASSERT_TRUE(client_->Create(std::string("/list/") + name, 0644).ok());
+  }
+  ASSERT_TRUE(client_->Mkdir("/list/subdir", 0755).ok());
+  auto entries = client_->ReadDir("/list");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 4u);
+  EXPECT_EQ((*entries)[0].name, "alpha");
+  EXPECT_EQ((*entries)[1].name, "mid");
+  EXPECT_EQ((*entries)[2].name, "subdir");
+  EXPECT_EQ((*entries)[2].type, InodeType::kDirectory);
+  EXPECT_EQ((*entries)[3].name, "zeta");
+  // readdir on a file is ENOTDIR.
+  EXPECT_EQ(client_->ReadDir("/list/alpha").status().code(),
+            ErrorCode::kNotADirectory);
+}
+
+TEST_P(CfsVariantTest, DeepPathsResolve) {
+  std::string path;
+  for (int depth = 0; depth < 8; depth++) {
+    path += "/d" + std::to_string(depth);
+    ASSERT_TRUE(client_->Mkdir(path, 0755).ok()) << path;
+  }
+  ASSERT_TRUE(client_->Create(path + "/leaf", 0644).ok());
+  auto info = client_->GetAttr(path + "/leaf");
+  ASSERT_TRUE(info.ok());
+  // A second client with a cold cache resolves the same path.
+  auto other = fs_->NewClient();
+  auto other_info = other->GetAttr(path + "/leaf");
+  ASSERT_TRUE(other_info.ok());
+  EXPECT_EQ(other_info->id, info->id);
+}
+
+TEST_P(CfsVariantTest, RenameIntraDirFile) {
+  ASSERT_TRUE(client_->Mkdir("/r", 0755).ok());
+  ASSERT_TRUE(client_->Create("/r/old", 0644).ok());
+  auto old_info = client_->GetAttr("/r/old");
+  ASSERT_TRUE(old_info.ok());
+
+  ASSERT_TRUE(client_->Rename("/r/old", "/r/new").ok());
+  EXPECT_TRUE(client_->GetAttr("/r/old").status().IsNotFound());
+  auto new_info = client_->GetAttr("/r/new");
+  ASSERT_TRUE(new_info.ok());
+  EXPECT_EQ(new_info->id, old_info->id);
+  auto parent = client_->GetAttr("/r");
+  ASSERT_TRUE(parent.ok());
+  EXPECT_EQ(parent->children, 1);
+}
+
+TEST_P(CfsVariantTest, RenameOverwritesExistingFile) {
+  ASSERT_TRUE(client_->Mkdir("/r2", 0755).ok());
+  ASSERT_TRUE(client_->Create("/r2/src", 0644).ok());
+  ASSERT_TRUE(client_->Create("/r2/dst", 0644).ok());
+  auto src_info = client_->GetAttr("/r2/src");
+  ASSERT_TRUE(src_info.ok());
+
+  ASSERT_TRUE(client_->Rename("/r2/src", "/r2/dst").ok());
+  auto parent = client_->GetAttr("/r2");
+  ASSERT_TRUE(parent.ok());
+  EXPECT_EQ(parent->children, 1);
+  auto dst = client_->GetAttr("/r2/dst");
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(dst->id, src_info->id);
+  fs_->filestore()->DrainAsync();
+}
+
+TEST_P(CfsVariantTest, RenameCrossDirectory) {
+  ASSERT_TRUE(client_->Mkdir("/a", 0755).ok());
+  ASSERT_TRUE(client_->Mkdir("/b", 0755).ok());
+  ASSERT_TRUE(client_->Create("/a/f", 0644).ok());
+  ASSERT_TRUE(client_->Rename("/a/f", "/b/g").ok());
+  EXPECT_TRUE(client_->GetAttr("/a/f").status().IsNotFound());
+  EXPECT_TRUE(client_->GetAttr("/b/g").ok());
+  auto a = client_->GetAttr("/a");
+  auto b = client_->GetAttr("/b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->children, 0);
+  EXPECT_EQ(b->children, 1);
+}
+
+TEST_P(CfsVariantTest, RenameDirectoryMove) {
+  ASSERT_TRUE(client_->Mkdir("/p1", 0755).ok());
+  ASSERT_TRUE(client_->Mkdir("/p2", 0755).ok());
+  ASSERT_TRUE(client_->Mkdir("/p1/child", 0755).ok());
+  ASSERT_TRUE(client_->Create("/p1/child/f", 0644).ok());
+
+  ASSERT_TRUE(client_->Rename("/p1/child", "/p2/moved").ok());
+  EXPECT_TRUE(client_->GetAttr("/p1/child").status().IsNotFound());
+  auto moved = client_->GetAttr("/p2/moved");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_TRUE(moved->IsDirectory());
+  // Contents move with the directory (ids, not paths, anchor children).
+  EXPECT_TRUE(client_->GetAttr("/p2/moved/f").ok());
+}
+
+TEST_P(CfsVariantTest, RenameRejectsOrphanLoop) {
+  ASSERT_TRUE(client_->Mkdir("/loop", 0755).ok());
+  ASSERT_TRUE(client_->Mkdir("/loop/inner", 0755).ok());
+  ASSERT_TRUE(client_->Mkdir("/loop/inner/deep", 0755).ok());
+  // Renaming an ancestor into its own subtree must fail.
+  Status st = client_->Rename("/loop", "/loop/inner/deep/bad");
+  EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument);
+  // And the hierarchy is intact.
+  EXPECT_TRUE(client_->GetAttr("/loop/inner/deep").ok());
+}
+
+TEST_P(CfsVariantTest, RenameDirOverNonEmptyDirFails) {
+  ASSERT_TRUE(client_->Mkdir("/x", 0755).ok());
+  ASSERT_TRUE(client_->Mkdir("/y", 0755).ok());
+  ASSERT_TRUE(client_->Create("/y/occupied", 0644).ok());
+  Status st = client_->Rename("/x", "/y");
+  EXPECT_EQ(st.code(), ErrorCode::kNotEmpty);
+  // Over an empty directory succeeds.
+  ASSERT_TRUE(client_->Mkdir("/z", 0755).ok());
+  ASSERT_TRUE(client_->Unlink("/y/occupied").ok());
+  EXPECT_TRUE(client_->Rename("/x", "/y").ok());
+  (void)st;
+}
+
+TEST_P(CfsVariantTest, SymlinkAndReadlink) {
+  ASSERT_TRUE(client_->Create("/target", 0644).ok());
+  ASSERT_TRUE(client_->Symlink("/target", "/lnk").ok());
+  auto target = client_->ReadLink("/lnk");
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, "/target");
+  auto info = client_->Lookup("/lnk");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->type, InodeType::kSymlink);
+  EXPECT_EQ(client_->ReadLink("/target").status().code(),
+            ErrorCode::kInvalidArgument);
+  ASSERT_TRUE(client_->Unlink("/lnk").ok());
+  EXPECT_TRUE(client_->GetAttr("/target").ok());
+}
+
+TEST_P(CfsVariantTest, HardLinkBumpsLinkCount) {
+  ASSERT_TRUE(client_->Create("/orig", 0644).ok());
+  ASSERT_TRUE(client_->Link("/orig", "/alias").ok());
+  auto orig = client_->GetAttr("/orig");
+  auto alias = client_->GetAttr("/alias");
+  ASSERT_TRUE(orig.ok());
+  ASSERT_TRUE(alias.ok());
+  EXPECT_EQ(orig->id, alias->id);
+  EXPECT_EQ(orig->links, 2);
+  // Hard links to directories are refused.
+  ASSERT_TRUE(client_->Mkdir("/hd", 0755).ok());
+  EXPECT_EQ(client_->Link("/hd", "/hd2").code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_P(CfsVariantTest, WriteAndReadBack) {
+  ASSERT_TRUE(client_->Create("/data", 0644).ok());
+  ASSERT_TRUE(client_->Write("/data", 0, "hello, filestore").ok());
+  auto read = client_->Read("/data", 0, 16);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello, filestore");
+  auto partial = client_->Read("/data", 7, 9);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(*partial, "filestore");
+  auto info = client_->GetAttr("/data");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, 16);
+}
+
+TEST_P(CfsVariantTest, ConcurrentCreatesInSharedDirectory) {
+  ASSERT_TRUE(client_->Mkdir("/shared", 0755).ok());
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 15;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<MetadataClient>> clients;
+  for (int t = 0; t < kThreads; t++) {
+    clients.push_back(fs_->NewClient());
+  }
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        std::string path =
+            "/shared/t" + std::to_string(t) + "_" + std::to_string(i);
+        if (clients[t]->Create(path, 0644).ok()) ok++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  auto parent = client_->GetAttr("/shared");
+  ASSERT_TRUE(parent.ok());
+  // No lost updates on the shared children counter.
+  EXPECT_EQ(parent->children, kThreads * kPerThread);
+  auto entries = client_->ReadDir("/shared");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, CfsVariantTest,
+                         ::testing::Values(0u, 1u, 2u, 3u),
+                         [](const ::testing::TestParamInfo<size_t>& param) {
+                           return kVariants[param.param].name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Full-CFS-specific behaviour: fast path routing, GC crash repair.
+
+class CfsFullTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CfsOptions options = SmallCluster(CfsFullOptions());
+    options.start_gc = false;  // tests drive GC passes explicitly
+    fs_ = std::make_unique<Cfs>(options);
+    ASSERT_TRUE(fs_->Start().ok());
+    client_ = fs_->NewClient();
+  }
+  void TearDown() override {
+    client_.reset();
+    fs_->Stop();
+  }
+
+  std::unique_ptr<Cfs> fs_;
+  std::unique_ptr<MetadataClient> client_;
+};
+
+TEST_F(CfsFullTest, IntraDirRenameSkipsRenamer) {
+  ASSERT_TRUE(client_->Mkdir("/fp", 0755).ok());
+  ASSERT_TRUE(client_->Create("/fp/a", 0644).ok());
+  auto before = fs_->renamer()->stats();
+  ASSERT_TRUE(client_->Rename("/fp/a", "/fp/b").ok());
+  auto after = fs_->renamer()->stats();
+  EXPECT_EQ(after.committed, before.committed);  // fast path: no coordinator
+
+  // Cross-directory rename does reach the Renamer.
+  ASSERT_TRUE(client_->Mkdir("/fp2", 0755).ok());
+  ASSERT_TRUE(client_->Rename("/fp/b", "/fp2/c").ok());
+  EXPECT_EQ(fs_->renamer()->stats().committed, before.committed + 1);
+}
+
+TEST_F(CfsFullTest, GcReclaimsOrphanedCreateAttr) {
+  // Simulate a client that crashed between create's two steps (Fig 7): the
+  // FileStore attribute exists, the TafDB link was never written.
+  InodeId orphan = fs_->tafdb()->id_allocator()->Next();
+  InodeRecord attr = InodeRecord::MakeFileAttr(orphan, 1, 0644, 0, 0);
+  ASSERT_TRUE(fs_->filestore()->NodeFor(orphan)->PutAttr(attr, "").ok());
+  ASSERT_TRUE(fs_->filestore()->NodeFor(orphan)->GetAttr(orphan).ok());
+
+  // First pass ingests the event; after the grace period a later pass
+  // reclaims the unpaired attribute.
+  fs_->gc()->RunOnceForTest();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  fs_->gc()->RunOnceForTest();
+
+  EXPECT_TRUE(
+      fs_->filestore()->NodeFor(orphan)->GetAttr(orphan).status().IsNotFound());
+  EXPECT_GE(fs_->gc()->stats().orphan_attrs_deleted, 1u);
+}
+
+TEST_F(CfsFullTest, GcDoesNotReclaimLinkedAttr) {
+  ASSERT_TRUE(client_->Create("/kept", 0644).ok());
+  auto info = client_->GetAttr("/kept");
+  ASSERT_TRUE(info.ok());
+  fs_->gc()->RunOnceForTest();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  fs_->gc()->RunOnceForTest();
+  // A properly linked file's attribute must survive collection.
+  EXPECT_TRUE(client_->GetAttr("/kept").ok());
+}
+
+TEST_F(CfsFullTest, GcFixesMissedUnlinkCleanup) {
+  ASSERT_TRUE(client_->Create("/doomed", 0644).ok());
+  auto info = client_->GetAttr("/doomed");
+  ASSERT_TRUE(info.ok());
+  InodeId id = info->id;
+
+  // Simulate the client crashing right after the TafDB unlink, before the
+  // async FileStore cleanup: execute only the namespace half.
+  DeleteSpec del;
+  del.key = InodeKey::IdRecord(kRootInode, "doomed");
+  del.forbid_directory = true;
+  del.hint_id = id;
+  del.expect_attr_cleanup = true;
+  UpdateSpec dec;
+  dec.key = InodeKey::AttrRecord(kRootInode);
+  dec.children_delta = -1;
+  auto op = PrimitiveOp::DeleteWithUpdate(del, dec);
+  ASSERT_TRUE(fs_->tafdb()->ShardFor(kRootInode)->ExecutePrimitive(op).status.ok());
+  ASSERT_TRUE(fs_->filestore()->NodeFor(id)->GetAttr(id).ok());
+
+  fs_->gc()->RunOnceForTest();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  fs_->gc()->RunOnceForTest();
+
+  EXPECT_TRUE(fs_->filestore()->NodeFor(id)->GetAttr(id).status().IsNotFound());
+  EXPECT_GE(fs_->gc()->stats().missed_deletes_fixed, 1u);
+}
+
+TEST_F(CfsFullTest, OnDemandGcRepairsDanglingRmdir) {
+  ASSERT_TRUE(client_->Mkdir("/ghost", 0755).ok());
+  auto info = client_->GetAttr("/ghost");
+  ASSERT_TRUE(info.ok());
+
+  // Simulate a crash between rmdir's two steps: the directory's attribute
+  // record was retired, the dentry under / remains.
+  PrimitiveOp retire;
+  DeleteSpec del_attr;
+  del_attr.key = InodeKey::AttrRecord(info->id);
+  retire.deletes.push_back(del_attr);
+  ASSERT_TRUE(
+      fs_->tafdb()->ShardFor(info->id)->ExecutePrimitive(retire).status.ok());
+
+  // A fresh client (cold cache) hits the dangling dentry; getattr fails and
+  // files an on-demand GC report.
+  auto other = fs_->NewClient();
+  EXPECT_TRUE(other->GetAttr("/ghost").status().IsNotFound());
+  fs_->gc()->RunOnceForTest();
+
+  // The dentry is gone and the parent's fanout is consistent again.
+  auto entries = client_->ReadDir("/");
+  ASSERT_TRUE(entries.ok());
+  for (const auto& e : *entries) {
+    EXPECT_NE(e.name, "ghost");
+  }
+  EXPECT_GE(fs_->gc()->stats().dangling_entries_removed, 1u);
+}
+
+TEST_F(CfsFullTest, StaleClientCacheHealsAfterExternalChange) {
+  ASSERT_TRUE(client_->Mkdir("/c", 0755).ok());
+  ASSERT_TRUE(client_->Create("/c/f", 0644).ok());
+  ASSERT_TRUE(client_->GetAttr("/c/f").ok());  // warm the cache
+
+  // Another client removes the file.
+  auto other = fs_->NewClient();
+  ASSERT_TRUE(other->Unlink("/c/f").ok());
+
+  // The first client's cached dentry is stale; the operation must still
+  // converge to ENOENT (attr fetch fails, cache evicts).
+  EXPECT_TRUE(client_->GetAttr("/c/f").status().IsNotFound());
+  EXPECT_TRUE(client_->GetAttr("/c/f").status().IsNotFound());
+}
+
+TEST_F(CfsFullTest, HintIdGuardsAbaOnUnlink) {
+  ASSERT_TRUE(client_->Mkdir("/aba", 0755).ok());
+  ASSERT_TRUE(client_->Create("/aba/f", 0644).ok());
+  auto first = client_->GetAttr("/aba/f");
+  ASSERT_TRUE(first.ok());
+
+  // Another client replaces the file (unlink + create with same name).
+  auto other = fs_->NewClient();
+  ASSERT_TRUE(other->Unlink("/aba/f").ok());
+  ASSERT_TRUE(other->Create("/aba/f", 0644).ok());
+
+  // First client unlinks with its stale cached id: the hint-id guard makes
+  // the primitive refuse to delete the replacement.
+  Status st = client_->Unlink("/aba/f");
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_TRUE(other->GetAttr("/aba/f").ok());
+}
+
+TEST_F(CfsFullTest, ProxyModeAddsAHop) {
+  CfsOptions proxy_options = SmallCluster(CfsPrimitivesOptions());
+  Cfs proxy_fs(proxy_options);
+  ASSERT_TRUE(proxy_fs.Start().ok());
+  auto proxy_client = proxy_fs.NewClient();
+  ASSERT_TRUE(proxy_client->Mkdir("/p", 0755).ok());
+
+  // getattr through the proxy: client->proxy hop + proxy->tafdb hop(s).
+  SimNet::ResetThreadHops();
+  ASSERT_TRUE(proxy_client->GetAttr("/p").ok());
+  uint64_t proxy_hops = SimNet::ThreadHops();
+
+  ASSERT_TRUE(client_->Mkdir("/p", 0755).ok());
+  ASSERT_TRUE(client_->GetAttr("/p").ok());  // warm cache
+  SimNet::ResetThreadHops();
+  ASSERT_TRUE(client_->GetAttr("/p").ok());
+  uint64_t direct_hops = SimNet::ThreadHops();
+
+  EXPECT_GT(proxy_hops, direct_hops);
+  proxy_fs.Stop();
+}
+
+}  // namespace
+}  // namespace cfs

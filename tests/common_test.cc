@@ -1,0 +1,274 @@
+// Unit tests for src/common: status propagation, binary encoding, CRC32C,
+// histograms, PRNG distributions, and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/common/crc32.h"
+#include "src/common/encoding.h"
+#include "src/common/hash.h"
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+
+namespace cfs {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing inode");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing inode");
+}
+
+TEST(StatusTest, RetryableClassification) {
+  EXPECT_TRUE(Status::Conflict().IsRetryable());
+  EXPECT_TRUE(Status::Timeout().IsRetryable());
+  EXPECT_TRUE(Status::NotLeader().IsRetryable());
+  EXPECT_TRUE(Status::Unavailable().IsRetryable());
+  EXPECT_FALSE(Status::NotFound().IsRetryable());
+  EXPECT_FALSE(Status::AlreadyExists().IsRetryable());
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); c++) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  auto good = ParsePositive(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  auto bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(bad.value_or(42), 42);
+}
+
+Status UseReturnIfError(bool fail) {
+  CFS_RETURN_IF_ERROR(fail ? Status::IoError("boom") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UseReturnIfError(false).ok());
+  EXPECT_EQ(UseReturnIfError(true).code(), ErrorCode::kIoError);
+}
+
+TEST(EncodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed64(&buf, 0x123456789abcdef0ULL);
+  Decoder dec(buf);
+  uint32_t a;
+  uint64_t b;
+  ASSERT_TRUE(dec.GetFixed32(&a));
+  ASSERT_TRUE(dec.GetFixed64(&b));
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 0x123456789abcdef0ULL);
+  EXPECT_TRUE(dec.empty());
+}
+
+TEST(EncodingTest, VarintRoundTripBoundaries) {
+  std::vector<uint64_t> values = {0,    1,    127,        128,
+                                  16383, 16384, UINT32_MAX, UINT64_MAX};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Decoder dec(buf);
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(dec.GetVarint64(&got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(EncodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  Decoder dec(buf);
+  std::string a, b, c;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&a));
+  ASSERT_TRUE(dec.GetLengthPrefixed(&b));
+  ASSERT_TRUE(dec.GetLengthPrefixed(&c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(EncodingTest, TruncatedInputFailsCleanly) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  Decoder dec(buf.substr(0, 3));
+  std::string out;
+  EXPECT_FALSE(dec.GetLengthPrefixed(&out));
+  uint64_t v;
+  Decoder dec2(std::string_view("\xff\xff", 2));
+  EXPECT_FALSE(dec2.GetVarint64(&v));
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC32C("123456789") = 0xE3069283 (well-known check value).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32Test, DetectsCorruption) {
+  std::string data = "the quick brown fox";
+  uint32_t crc = Crc32c(data);
+  data[3] ^= 1;
+  EXPECT_NE(Crc32c(data), crc);
+}
+
+TEST(HashTest, Fnv1aIsStable) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+}
+
+TEST(HashTest, HashU64SpreadsSequentialIds) {
+  // Partitioning by HashU64(id) % n must not map sequential ids to one bin.
+  std::vector<int> bins(8, 0);
+  for (uint64_t id = 1; id <= 8000; id++) {
+    bins[HashU64(id) % 8]++;
+  }
+  for (int count : bins) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  for (int i = 1; i <= 10000; i++) h.Record(i);
+  EXPECT_EQ(h.count(), 10000);
+  EXPECT_LE(h.P50(), h.P99());
+  EXPECT_LE(h.P99(), h.P999());
+  EXPECT_NEAR(static_cast<double>(h.P50()), 5000, 1200);
+  EXPECT_NEAR(static_cast<double>(h.P99()), 9900, 2200);
+  EXPECT_EQ(h.max(), 10000);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(20);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_NEAR(a.mean(), 15.0, 0.01);
+}
+
+TEST(HistogramTest, StripedAggregation) {
+  StripedHistogram striped(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&striped, t] {
+      for (int i = 0; i < 1000; i++) striped.Record(t, 100);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(striped.Aggregate().count(), 4000);
+}
+
+TEST(RandomTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, ZipfIsSkewed) {
+  Rng rng(3);
+  ZipfGenerator zipf(1000, 0.99);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; i++) {
+    uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Head should dominate the tail.
+  EXPECT_GT(counts[0], counts[500] * 5);
+}
+
+TEST(RandomTest, WeightedChoiceMatchesWeights) {
+  Rng rng(11);
+  WeightedChoice choice({75.0, 20.0, 5.0});
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 100000; i++) counts[choice.Next(rng)]++;
+  EXPECT_NEAR(counts[0] / 100000.0, 0.75, 0.02);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.20, 0.02);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.05, 0.02);
+}
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock(1000);
+  EXPECT_EQ(clock.NowNanos(), 1000);
+  clock.AdvanceMicros(5);
+  EXPECT_EQ(clock.NowNanos(), 6000);
+  Stopwatch sw(&clock);
+  clock.AdvanceMicros(10);
+  EXPECT_EQ(sw.ElapsedMicros(), 10);
+}
+
+TEST(ClockTest, RealClockMonotonic) {
+  auto* clock = RealClock::Get();
+  MonoNanos a = clock->NowNanos();
+  MonoNanos b = clock->NowNanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(pool.Submit([&counter] { counter++; }));
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, RejectsAfterShutdown) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; i++) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done++;
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,392 @@
+// POSIX-semantics conformance suite (the pjdfstest analogue, §3.2): drives
+// the PosixFs adapter over full CFS and asserts errno-level behaviour for
+// the behaviour classes pjdfstest covers — mkdir/rmdir, open flags,
+// unlink, rename corner cases, chmod/chown/truncate/utimens, symlink and
+// hard-link behaviour, and readdir. Parameterized sweeps exercise name
+// shapes and directory fanouts property-style.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+#include "src/core/cfs.h"
+#include "src/core/gc.h"
+#include "src/core/posix.h"
+
+namespace cfs {
+namespace {
+
+class PosixConformanceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CfsOptions options = CfsFullOptions();
+    options.num_servers = 6;
+    options.tafdb.num_shards = 2;
+    options.tafdb.raft.election_timeout_min_ms = 50;
+    options.tafdb.raft.election_timeout_max_ms = 100;
+    options.tafdb.raft.heartbeat_interval_ms = 20;
+    options.filestore.num_nodes = 2;
+    options.filestore.raft = options.tafdb.raft;
+    options.renamer.raft = options.tafdb.raft;
+    fs_ = new Cfs(options);
+    ASSERT_TRUE(fs_->Start().ok());
+    posix_ = new PosixFs(fs_->NewClient());
+  }
+
+  static void TearDownTestSuite() {
+    delete posix_;
+    fs_->Stop();
+    delete fs_;
+    fs_ = nullptr;
+    posix_ = nullptr;
+  }
+
+  // Fresh scratch directory per test.
+  void SetUp() override {
+    dir_ = "/scratch_" + std::string(
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    for (char& c : dir_) {
+      if (c == '/') c = '_';
+    }
+    dir_ = "/" + dir_.substr(1);
+    ASSERT_EQ(posix_->Mkdir(dir_, 0755), 0);
+  }
+
+  std::string P(const std::string& rel) { return dir_ + "/" + rel; }
+
+  static Cfs* fs_;
+  static PosixFs* posix_;
+  std::string dir_;
+};
+
+Cfs* PosixConformanceTest::fs_ = nullptr;
+PosixFs* PosixConformanceTest::posix_ = nullptr;
+
+// ---- mkdir / rmdir ----
+
+TEST_F(PosixConformanceTest, MkdirCreatesWithMode) {
+  ASSERT_EQ(posix_->Mkdir(P("d"), 0751), 0);
+  StatBuf st;
+  ASSERT_EQ(posix_->Stat(P("d"), &st), 0);
+  EXPECT_EQ(st.type, InodeType::kDirectory);
+  EXPECT_EQ(st.mode, 0751u);
+  EXPECT_GE(st.nlink, 2);
+}
+
+TEST_F(PosixConformanceTest, MkdirEexistOnAnyExisting) {
+  ASSERT_EQ(posix_->Mkdir(P("d"), 0755), 0);
+  EXPECT_EQ(posix_->Mkdir(P("d"), 0755), -EEXIST);
+  int fd = posix_->Open(P("f"), kOCreat, 0644);
+  ASSERT_GE(fd, 0);
+  posix_->Close(fd);
+  EXPECT_EQ(posix_->Mkdir(P("f"), 0755), -EEXIST);
+}
+
+TEST_F(PosixConformanceTest, MkdirEnoentMissingAncestor) {
+  EXPECT_EQ(posix_->Mkdir(P("no/such/dir"), 0755), -ENOENT);
+}
+
+TEST_F(PosixConformanceTest, MkdirEnotdirFileComponent) {
+  int fd = posix_->Open(P("f"), kOCreat, 0644);
+  ASSERT_GE(fd, 0);
+  posix_->Close(fd);
+  EXPECT_EQ(posix_->Mkdir(P("f/sub"), 0755), -ENOTDIR);
+}
+
+TEST_F(PosixConformanceTest, RmdirSemantics) {
+  ASSERT_EQ(posix_->Mkdir(P("d"), 0755), 0);
+  ASSERT_EQ(posix_->Mkdir(P("d/sub"), 0755), 0);
+  EXPECT_EQ(posix_->Rmdir(P("d")), -ENOTEMPTY);
+  EXPECT_EQ(posix_->Rmdir(P("d/sub")), 0);
+  EXPECT_EQ(posix_->Rmdir(P("d")), 0);
+  EXPECT_EQ(posix_->Rmdir(P("d")), -ENOENT);
+  int fd = posix_->Open(P("f"), kOCreat, 0644);
+  ASSERT_GE(fd, 0);
+  posix_->Close(fd);
+  EXPECT_EQ(posix_->Rmdir(P("f")), -ENOTDIR);
+}
+
+// ---- open ----
+
+TEST_F(PosixConformanceTest, OpenCreatExclTruncMatrix) {
+  // O_CREAT creates.
+  int fd = posix_->Open(P("f"), kOCreat, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(posix_->Close(fd), 0);
+  // O_CREAT on existing opens.
+  fd = posix_->Open(P("f"), kOCreat, 0600);
+  ASSERT_GE(fd, 0);
+  StatBuf st;
+  ASSERT_EQ(posix_->Stat(P("f"), &st), 0);
+  EXPECT_EQ(st.mode, 0644u);  // existing mode preserved
+  posix_->Close(fd);
+  // O_CREAT|O_EXCL on existing: EEXIST.
+  EXPECT_EQ(posix_->Open(P("f"), kOCreat | kOExcl, 0644), -EEXIST);
+  // Plain open on missing: ENOENT.
+  EXPECT_EQ(posix_->Open(P("missing"), 0), -ENOENT);
+  // Open on directory: EISDIR.
+  ASSERT_EQ(posix_->Mkdir(P("d"), 0755), 0);
+  EXPECT_EQ(posix_->Open(P("d"), 0), -EISDIR);
+  // O_TRUNC zeroes the size.
+  fd = posix_->Open(P("f"), 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(posix_->PWrite(fd, "12345678", 0), 8);
+  posix_->Close(fd);
+  ASSERT_EQ(posix_->Stat(P("f"), &st), 0);
+  EXPECT_EQ(st.size, 8);
+  fd = posix_->Open(P("f"), kOTrunc);
+  ASSERT_GE(fd, 0);
+  posix_->Close(fd);
+  ASSERT_EQ(posix_->Stat(P("f"), &st), 0);
+  EXPECT_EQ(st.size, 0);
+}
+
+TEST_F(PosixConformanceTest, CloseInvalidFdIsEbadf) {
+  EXPECT_EQ(posix_->Close(99999), -EBADF);
+  EXPECT_EQ(posix_->PWrite(99999, "x", 0), -EBADF);
+  std::string out;
+  EXPECT_EQ(posix_->PRead(99999, 0, 1, &out), -EBADF);
+}
+
+// ---- unlink ----
+
+TEST_F(PosixConformanceTest, UnlinkSemantics) {
+  int fd = posix_->Open(P("f"), kOCreat, 0644);
+  ASSERT_GE(fd, 0);
+  posix_->Close(fd);
+  EXPECT_EQ(posix_->Unlink(P("f")), 0);
+  EXPECT_EQ(posix_->Unlink(P("f")), -ENOENT);
+  ASSERT_EQ(posix_->Mkdir(P("d"), 0755), 0);
+  EXPECT_EQ(posix_->Unlink(P("d")), -EISDIR);
+}
+
+// ---- stat / chmod / chown / utimens / truncate ----
+
+TEST_F(PosixConformanceTest, AttributeRoundTrips) {
+  int fd = posix_->Open(P("f"), kOCreat, 0644);
+  ASSERT_GE(fd, 0);
+  posix_->Close(fd);
+
+  EXPECT_EQ(posix_->Chmod(P("f"), 0400), 0);
+  StatBuf st;
+  ASSERT_EQ(posix_->Stat(P("f"), &st), 0);
+  EXPECT_EQ(st.mode, 0400u);
+
+  EXPECT_EQ(posix_->Chown(P("f"), 42, 43), 0);
+  ASSERT_EQ(posix_->Stat(P("f"), &st), 0);
+  EXPECT_EQ(st.uid, 42u);
+  EXPECT_EQ(st.gid, 43u);
+
+  EXPECT_EQ(posix_->Truncate(P("f"), 1000), 0);
+  ASSERT_EQ(posix_->Stat(P("f"), &st), 0);
+  EXPECT_EQ(st.size, 1000);
+
+  EXPECT_EQ(posix_->Utimens(P("f"), 123456), 0);
+  ASSERT_EQ(posix_->Stat(P("f"), &st), 0);
+  EXPECT_EQ(st.mtime, 123456u);
+
+  EXPECT_EQ(posix_->Chmod(P("missing"), 0644), -ENOENT);
+  ASSERT_EQ(posix_->Mkdir(P("d"), 0755), 0);
+  EXPECT_EQ(posix_->Truncate(P("d"), 0), -EISDIR);
+}
+
+// ---- rename ----
+
+TEST_F(PosixConformanceTest, RenameBasicAndCorners) {
+  int fd = posix_->Open(P("a"), kOCreat, 0644);
+  ASSERT_GE(fd, 0);
+  posix_->Close(fd);
+
+  EXPECT_EQ(posix_->Rename(P("a"), P("b")), 0);
+  StatBuf st;
+  EXPECT_EQ(posix_->Stat(P("a"), &st), -ENOENT);
+  EXPECT_EQ(posix_->Stat(P("b"), &st), 0);
+
+  // rename to itself succeeds and changes nothing.
+  EXPECT_EQ(posix_->Rename(P("b"), P("b")), 0);
+  EXPECT_EQ(posix_->Stat(P("b"), &st), 0);
+
+  // missing source: ENOENT.
+  EXPECT_EQ(posix_->Rename(P("ghost"), P("c")), -ENOENT);
+
+  // file over directory: EISDIR; directory over file: ENOTDIR.
+  ASSERT_EQ(posix_->Mkdir(P("dir"), 0755), 0);
+  EXPECT_EQ(posix_->Rename(P("b"), P("dir")), -EISDIR);
+  EXPECT_EQ(posix_->Rename(P("dir"), P("b")), -ENOTDIR);
+
+  // directory over empty directory succeeds.
+  ASSERT_EQ(posix_->Mkdir(P("dir2"), 0755), 0);
+  EXPECT_EQ(posix_->Rename(P("dir"), P("dir2")), 0);
+  EXPECT_EQ(posix_->Stat(P("dir"), &st), -ENOENT);
+
+  // ancestor into descendant: EINVAL.
+  ASSERT_EQ(posix_->Mkdir(P("dir2/inner"), 0755), 0);
+  EXPECT_EQ(posix_->Rename(P("dir2"), P("dir2/inner/x")), -EINVAL);
+}
+
+TEST_F(PosixConformanceTest, RenamePreservesInodeAndContent) {
+  int fd = posix_->Open(P("src"), kOCreat, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(posix_->PWrite(fd, "persistent-content", 0), 18);
+  posix_->Close(fd);
+  StatBuf before;
+  ASSERT_EQ(posix_->Stat(P("src"), &before), 0);
+
+  ASSERT_EQ(posix_->Rename(P("src"), P("dst")), 0);
+  StatBuf after;
+  ASSERT_EQ(posix_->Stat(P("dst"), &after), 0);
+  EXPECT_EQ(after.ino, before.ino);
+  EXPECT_EQ(after.size, 18);
+
+  fd = posix_->Open(P("dst"), 0);
+  ASSERT_GE(fd, 0);
+  std::string out;
+  ASSERT_EQ(posix_->PRead(fd, 0, 18, &out), 18);
+  EXPECT_EQ(out, "persistent-content");
+  posix_->Close(fd);
+}
+
+// ---- symlink / link ----
+
+TEST_F(PosixConformanceTest, SymlinkBehaviour) {
+  EXPECT_EQ(posix_->Symlink("/nonexistent/target", P("dangling")), 0);
+  std::string target;
+  EXPECT_EQ(posix_->ReadlinkInto(P("dangling"), &target), 0);
+  EXPECT_EQ(target, "/nonexistent/target");
+  // Symlink over existing name: EEXIST.
+  EXPECT_EQ(posix_->Symlink("/x", P("dangling")), -EEXIST);
+  // readlink on non-symlink: EINVAL.
+  ASSERT_EQ(posix_->Mkdir(P("d"), 0755), 0);
+  EXPECT_EQ(posix_->ReadlinkInto(P("d"), &target), -EINVAL);
+  // unlink removes the link, not any target.
+  EXPECT_EQ(posix_->Unlink(P("dangling")), 0);
+}
+
+TEST_F(PosixConformanceTest, HardLinkBehaviour) {
+  int fd = posix_->Open(P("f"), kOCreat, 0644);
+  ASSERT_GE(fd, 0);
+  posix_->Close(fd);
+  EXPECT_EQ(posix_->LinkFile(P("f"), P("l")), 0);
+  StatBuf a, b;
+  ASSERT_EQ(posix_->Stat(P("f"), &a), 0);
+  ASSERT_EQ(posix_->Stat(P("l"), &b), 0);
+  EXPECT_EQ(a.ino, b.ino);
+  EXPECT_EQ(a.nlink, 2);
+  // link to missing source: ENOENT; over existing dest: EEXIST; dir: EACCES.
+  EXPECT_EQ(posix_->LinkFile(P("missing"), P("l2")), -ENOENT);
+  EXPECT_EQ(posix_->LinkFile(P("f"), P("l")), -EEXIST);
+  ASSERT_EQ(posix_->Mkdir(P("d"), 0755), 0);
+  EXPECT_EQ(posix_->LinkFile(P("d"), P("dl")), -EACCES);
+}
+
+// ---- readdir ----
+
+TEST_F(PosixConformanceTest, ReadDirContents) {
+  ASSERT_EQ(posix_->Mkdir(P("d"), 0755), 0);
+  for (int i = 0; i < 10; i++) {
+    int fd = posix_->Open(P("d/f" + std::to_string(i)), kOCreat, 0644);
+    ASSERT_GE(fd, 0);
+    posix_->Close(fd);
+  }
+  std::vector<DirEntry> entries;
+  ASSERT_EQ(posix_->ReadDirInto(P("d"), &entries), 0);
+  EXPECT_EQ(entries.size(), 10u);
+  EXPECT_EQ(posix_->ReadDirInto(P("missing"), &entries), -ENOENT);
+  int fd = posix_->Open(P("plain"), kOCreat, 0644);
+  ASSERT_GE(fd, 0);
+  posix_->Close(fd);
+  EXPECT_EQ(posix_->ReadDirInto(P("plain"), &entries), -ENOTDIR);
+}
+
+// ---- I/O ----
+
+TEST_F(PosixConformanceTest, WriteReadRoundTrip) {
+  int fd = posix_->Open(P("io"), kOCreat, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(posix_->PWrite(fd, "0123456789", 0), 10);
+  std::string out;
+  ASSERT_EQ(posix_->PRead(fd, 0, 10, &out), 10);
+  EXPECT_EQ(out, "0123456789");
+  ASSERT_EQ(posix_->PRead(fd, 4, 3, &out), 3);
+  EXPECT_EQ(out, "456");
+  posix_->Close(fd);
+}
+
+// ---- invalid paths ----
+
+TEST_F(PosixConformanceTest, InvalidPathsRejected) {
+  EXPECT_EQ(posix_->Mkdir("relative/path", 0755), -EINVAL);
+  EXPECT_EQ(posix_->Mkdir(P("a/../b"), 0755), -EINVAL);
+  EXPECT_EQ(posix_->Rmdir("/"), -EINVAL);
+  // "_ATTR" is a legal file name: the reserved attribute kStr is "/_ATTR",
+  // which no path component can collide with ('/' is the separator).
+  EXPECT_EQ(posix_->Mkdir(P("_ATTR"), 0755), 0);
+  std::vector<DirEntry> entries;
+  ASSERT_EQ(posix_->ReadDirInto(P("_ATTR"), &entries), 0);
+  EXPECT_TRUE(entries.empty());
+}
+
+// ---- parameterized name-shape sweep (property-style) ----
+
+class NameShapeTest : public PosixConformanceTest,
+                      public ::testing::WithParamInterface<const char*> {};
+
+// Re-declare statics access through the fixture hierarchy.
+TEST_P(NameShapeTest, CreateStatUnlinkRoundTrip) {
+  std::string name = GetParam();
+  std::string path = P(name);
+  int fd = posix_->Open(path, kOCreat, 0644);
+  ASSERT_GE(fd, 0) << name;
+  posix_->Close(fd);
+  StatBuf st;
+  EXPECT_EQ(posix_->Stat(path, &st), 0) << name;
+  std::vector<DirEntry> entries;
+  ASSERT_EQ(posix_->ReadDirInto(dir_, &entries), 0);
+  bool found = false;
+  for (const auto& e : entries) {
+    if (e.name == name) found = true;
+  }
+  EXPECT_TRUE(found) << name;
+  EXPECT_EQ(posix_->Unlink(path), 0) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Names, NameShapeTest,
+    ::testing::Values("plain", "with.dots", "with-dashes", "with_underscore",
+                      "UPPERCASE", "0numeric", " space-lead",
+                      "ünïcödé", "very-long-name-very-long-name-very-long-"
+                                 "name-very-long-name-very-long-name-123456"),
+    [](const ::testing::TestParamInfo<const char*>& param) {
+      return "case" + std::to_string(param.index);
+    });
+
+// ---- parameterized fanout sweep ----
+
+class FanoutTest : public PosixConformanceTest,
+                   public ::testing::WithParamInterface<int> {};
+
+TEST_P(FanoutTest, ChildrenCountMatchesFanout) {
+  int fanout = GetParam();
+  ASSERT_EQ(posix_->Mkdir(P("fan"), 0755), 0);
+  for (int i = 0; i < fanout; i++) {
+    int fd = posix_->Open(P("fan/f" + std::to_string(i)), kOCreat, 0644);
+    ASSERT_GE(fd, 0);
+    posix_->Close(fd);
+  }
+  StatBuf st;
+  ASSERT_EQ(posix_->Stat(P("fan"), &st), 0);
+  std::vector<DirEntry> entries;
+  ASSERT_EQ(posix_->ReadDirInto(P("fan"), &entries), 0);
+  EXPECT_EQ(entries.size(), static_cast<size_t>(fanout));
+  // Unlink everything; the directory becomes removable again.
+  for (int i = 0; i < fanout; i++) {
+    EXPECT_EQ(posix_->Unlink(P("fan/f" + std::to_string(i))), 0);
+  }
+  EXPECT_EQ(posix_->Rmdir(P("fan")), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, FanoutTest,
+                         ::testing::Values(1, 2, 7, 32, 100));
+
+}  // namespace
+}  // namespace cfs

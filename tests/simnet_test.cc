@@ -1,0 +1,124 @@
+// Unit tests for SimNet: delivery, latency modes, fault injection, stats.
+
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/net/simnet.h"
+
+namespace cfs {
+namespace {
+
+TEST(SimNetTest, CallInvokesHandler) {
+  SimNet net;
+  NodeId a = net.AddNode("a", 0);
+  NodeId b = net.AddNode("b", 1);
+  int called = 0;
+  Status st = net.Call(a, b, [&]() -> Status {
+    called++;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(called, 1);
+  EXPECT_EQ(net.TotalCalls(), 1u);
+  EXPECT_EQ(net.CallsTo(b), 1u);
+  EXPECT_EQ(net.CallsTo(a), 0u);
+}
+
+TEST(SimNetTest, CallPropagatesStatusOr) {
+  SimNet net;
+  NodeId a = net.AddNode("a", 0);
+  NodeId b = net.AddNode("b", 1);
+  auto result = net.Call(a, b, [&]() -> StatusOr<int> { return 42; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(SimNetTest, DownNodeUnreachable) {
+  SimNet net;
+  NodeId a = net.AddNode("a", 0);
+  NodeId b = net.AddNode("b", 1);
+  net.SetNodeDown(b, true);
+  Status st = net.Call(a, b, [&]() -> Status { return Status::Ok(); });
+  EXPECT_EQ(st.code(), ErrorCode::kUnavailable);
+  net.SetNodeDown(b, false);
+  EXPECT_TRUE(net.Call(a, b, [&]() -> Status { return Status::Ok(); }).ok());
+}
+
+TEST(SimNetTest, PartitionIsSymmetricAndHealable) {
+  SimNet net;
+  NodeId a = net.AddNode("a", 0);
+  NodeId b = net.AddNode("b", 1);
+  NodeId c = net.AddNode("c", 2);
+  net.SetPartitioned(a, b, true);
+  EXPECT_FALSE(net.BeginCall(a, b).ok());
+  EXPECT_FALSE(net.BeginCall(b, a).ok());
+  EXPECT_TRUE(net.BeginCall(a, c).ok());
+  net.HealAll();
+  EXPECT_TRUE(net.BeginCall(a, b).ok());
+}
+
+TEST(SimNetTest, ThreadHopCounter) {
+  SimNet net;
+  NodeId a = net.AddNode("a", 0);
+  NodeId b = net.AddNode("b", 1);
+  SimNet::ResetThreadHops();
+  for (int i = 0; i < 5; i++) {
+    (void)net.Call(a, b, [] { return Status::Ok(); });
+  }
+  EXPECT_EQ(SimNet::ThreadHops(), 5u);
+  SimNet::ResetThreadHops();
+  EXPECT_EQ(SimNet::ThreadHops(), 0u);
+}
+
+TEST(SimNetTest, SleepModeInjectsCrossNodeLatency) {
+  NetOptions options;
+  options.mode = LatencyMode::kSleep;
+  options.cross_node_rtt_us = 2000;
+  options.same_node_rtt_us = 0;
+  options.jitter_pct = 0;
+  SimNet net(options);
+  NodeId a = net.AddNode("a", 0);
+  NodeId b = net.AddNode("b", 1);
+  NodeId a2 = net.AddNode("a2", 0);
+
+  Stopwatch sw;
+  (void)net.BeginCall(a, b);
+  EXPECT_GE(sw.ElapsedMicros(), 2000);
+
+  sw.Reset();
+  (void)net.BeginCall(a, a2);  // same server: no cross-node cost
+  EXPECT_LT(sw.ElapsedMicros(), 1500);
+}
+
+TEST(SimNetTest, ZeroModeIsFast) {
+  SimNet net;  // default zero latency
+  NodeId a = net.AddNode("a", 0);
+  NodeId b = net.AddNode("b", 1);
+  Stopwatch sw;
+  for (int i = 0; i < 10000; i++) {
+    (void)net.BeginCall(a, b);
+  }
+  EXPECT_LT(sw.ElapsedMicros(), 1000000);
+  EXPECT_EQ(net.TotalCalls(), 10000u);
+}
+
+TEST(SimNetTest, ResetStatsClearsCounters) {
+  SimNet net;
+  NodeId a = net.AddNode("a", 0);
+  NodeId b = net.AddNode("b", 1);
+  (void)net.BeginCall(a, b);
+  net.ResetStats();
+  EXPECT_EQ(net.TotalCalls(), 0u);
+  EXPECT_EQ(net.CallsTo(b), 0u);
+}
+
+TEST(SimNetTest, NamesAndServers) {
+  SimNet net;
+  NodeId a = net.AddNode("alpha", 3);
+  EXPECT_EQ(net.NameOf(a), "alpha");
+  EXPECT_EQ(net.ServerOf(a), 3u);
+  EXPECT_EQ(net.NumNodes(), 1u);
+}
+
+}  // namespace
+}  // namespace cfs
