@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_groupcommit.dir/bench_ablation_groupcommit.cpp.o"
+  "CMakeFiles/bench_ablation_groupcommit.dir/bench_ablation_groupcommit.cpp.o.d"
+  "bench_ablation_groupcommit"
+  "bench_ablation_groupcommit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_groupcommit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

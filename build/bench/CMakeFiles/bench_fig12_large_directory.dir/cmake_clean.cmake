@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_large_directory.dir/bench_fig12_large_directory.cpp.o"
+  "CMakeFiles/bench_fig12_large_directory.dir/bench_fig12_large_directory.cpp.o.d"
+  "bench_fig12_large_directory"
+  "bench_fig12_large_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_large_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec56_rename.dir/bench_sec56_rename.cpp.o"
+  "CMakeFiles/bench_sec56_rename.dir/bench_sec56_rename.cpp.o.d"
+  "bench_sec56_rename"
+  "bench_sec56_rename.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec56_rename.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_shared_dir.dir/analytics_shared_dir.cpp.o"
+  "CMakeFiles/analytics_shared_dir.dir/analytics_shared_dir.cpp.o.d"
+  "analytics_shared_dir"
+  "analytics_shared_dir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_shared_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_mdtest.dir/cfs_mdtest.cpp.o"
+  "CMakeFiles/cfs_mdtest.dir/cfs_mdtest.cpp.o.d"
+  "cfs_mdtest"
+  "cfs_mdtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_mdtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

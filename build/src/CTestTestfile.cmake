@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("net")
+subdirs("wal")
+subdirs("kv")
+subdirs("raft")
+subdirs("txn")
+subdirs("tafdb")
+subdirs("filestore")
+subdirs("renamer")
+subdirs("core")
+subdirs("baselines")
+subdirs("workload")

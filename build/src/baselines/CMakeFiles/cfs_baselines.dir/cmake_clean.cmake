@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_baselines.dir/baseline_common.cc.o"
+  "CMakeFiles/cfs_baselines.dir/baseline_common.cc.o.d"
+  "CMakeFiles/cfs_baselines.dir/hopsfs/hopsfs.cc.o"
+  "CMakeFiles/cfs_baselines.dir/hopsfs/hopsfs.cc.o.d"
+  "CMakeFiles/cfs_baselines.dir/infinifs/infinifs.cc.o"
+  "CMakeFiles/cfs_baselines.dir/infinifs/infinifs.cc.o.d"
+  "libcfs_baselines.a"
+  "libcfs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_common.dir/clock.cc.o"
+  "CMakeFiles/cfs_common.dir/clock.cc.o.d"
+  "CMakeFiles/cfs_common.dir/crc32.cc.o"
+  "CMakeFiles/cfs_common.dir/crc32.cc.o.d"
+  "CMakeFiles/cfs_common.dir/histogram.cc.o"
+  "CMakeFiles/cfs_common.dir/histogram.cc.o.d"
+  "CMakeFiles/cfs_common.dir/logging.cc.o"
+  "CMakeFiles/cfs_common.dir/logging.cc.o.d"
+  "CMakeFiles/cfs_common.dir/status.cc.o"
+  "CMakeFiles/cfs_common.dir/status.cc.o.d"
+  "CMakeFiles/cfs_common.dir/thread_pool.cc.o"
+  "CMakeFiles/cfs_common.dir/thread_pool.cc.o.d"
+  "libcfs_common.a"
+  "libcfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cfs.cc" "src/core/CMakeFiles/cfs_core.dir/cfs.cc.o" "gcc" "src/core/CMakeFiles/cfs_core.dir/cfs.cc.o.d"
+  "/root/repo/src/core/cfs_engine.cc" "src/core/CMakeFiles/cfs_core.dir/cfs_engine.cc.o" "gcc" "src/core/CMakeFiles/cfs_core.dir/cfs_engine.cc.o.d"
+  "/root/repo/src/core/gc.cc" "src/core/CMakeFiles/cfs_core.dir/gc.cc.o" "gcc" "src/core/CMakeFiles/cfs_core.dir/gc.cc.o.d"
+  "/root/repo/src/core/metadata_client.cc" "src/core/CMakeFiles/cfs_core.dir/metadata_client.cc.o" "gcc" "src/core/CMakeFiles/cfs_core.dir/metadata_client.cc.o.d"
+  "/root/repo/src/core/posix.cc" "src/core/CMakeFiles/cfs_core.dir/posix.cc.o" "gcc" "src/core/CMakeFiles/cfs_core.dir/posix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/cfs_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/cfs_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/cfs_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tafdb/CMakeFiles/cfs_tafdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/filestore/CMakeFiles/cfs_filestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/renamer/CMakeFiles/cfs_renamer.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/cfs_wal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_core.dir/cfs.cc.o"
+  "CMakeFiles/cfs_core.dir/cfs.cc.o.d"
+  "CMakeFiles/cfs_core.dir/cfs_engine.cc.o"
+  "CMakeFiles/cfs_core.dir/cfs_engine.cc.o.d"
+  "CMakeFiles/cfs_core.dir/gc.cc.o"
+  "CMakeFiles/cfs_core.dir/gc.cc.o.d"
+  "CMakeFiles/cfs_core.dir/metadata_client.cc.o"
+  "CMakeFiles/cfs_core.dir/metadata_client.cc.o.d"
+  "CMakeFiles/cfs_core.dir/posix.cc.o"
+  "CMakeFiles/cfs_core.dir/posix.cc.o.d"
+  "libcfs_core.a"
+  "libcfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

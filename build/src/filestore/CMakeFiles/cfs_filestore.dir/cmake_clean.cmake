@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_filestore.dir/filestore.cc.o"
+  "CMakeFiles/cfs_filestore.dir/filestore.cc.o.d"
+  "libcfs_filestore.a"
+  "libcfs_filestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_filestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cfs_filestore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/kvstore.cc" "src/kv/CMakeFiles/cfs_kv.dir/kvstore.cc.o" "gcc" "src/kv/CMakeFiles/cfs_kv.dir/kvstore.cc.o.d"
+  "/root/repo/src/kv/memtable.cc" "src/kv/CMakeFiles/cfs_kv.dir/memtable.cc.o" "gcc" "src/kv/CMakeFiles/cfs_kv.dir/memtable.cc.o.d"
+  "/root/repo/src/kv/sorted_run.cc" "src/kv/CMakeFiles/cfs_kv.dir/sorted_run.cc.o" "gcc" "src/kv/CMakeFiles/cfs_kv.dir/sorted_run.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/cfs_wal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

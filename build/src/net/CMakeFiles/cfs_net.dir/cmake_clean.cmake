@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_net.dir/simnet.cc.o"
+  "CMakeFiles/cfs_net.dir/simnet.cc.o.d"
+  "libcfs_net.a"
+  "libcfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_raft.dir/raft.cc.o"
+  "CMakeFiles/cfs_raft.dir/raft.cc.o.d"
+  "libcfs_raft.a"
+  "libcfs_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_renamer.dir/renamer.cc.o"
+  "CMakeFiles/cfs_renamer.dir/renamer.cc.o.d"
+  "libcfs_renamer.a"
+  "libcfs_renamer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_renamer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

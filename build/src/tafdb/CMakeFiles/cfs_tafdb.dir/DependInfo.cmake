@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tafdb/primitives.cc" "src/tafdb/CMakeFiles/cfs_tafdb.dir/primitives.cc.o" "gcc" "src/tafdb/CMakeFiles/cfs_tafdb.dir/primitives.cc.o.d"
+  "/root/repo/src/tafdb/schema.cc" "src/tafdb/CMakeFiles/cfs_tafdb.dir/schema.cc.o" "gcc" "src/tafdb/CMakeFiles/cfs_tafdb.dir/schema.cc.o.d"
+  "/root/repo/src/tafdb/shard.cc" "src/tafdb/CMakeFiles/cfs_tafdb.dir/shard.cc.o" "gcc" "src/tafdb/CMakeFiles/cfs_tafdb.dir/shard.cc.o.d"
+  "/root/repo/src/tafdb/tafdb.cc" "src/tafdb/CMakeFiles/cfs_tafdb.dir/tafdb.cc.o" "gcc" "src/tafdb/CMakeFiles/cfs_tafdb.dir/tafdb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/cfs_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/cfs_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/cfs_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/cfs_wal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_tafdb.dir/primitives.cc.o"
+  "CMakeFiles/cfs_tafdb.dir/primitives.cc.o.d"
+  "CMakeFiles/cfs_tafdb.dir/schema.cc.o"
+  "CMakeFiles/cfs_tafdb.dir/schema.cc.o.d"
+  "CMakeFiles/cfs_tafdb.dir/shard.cc.o"
+  "CMakeFiles/cfs_tafdb.dir/shard.cc.o.d"
+  "CMakeFiles/cfs_tafdb.dir/tafdb.cc.o"
+  "CMakeFiles/cfs_tafdb.dir/tafdb.cc.o.d"
+  "libcfs_tafdb.a"
+  "libcfs_tafdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_tafdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

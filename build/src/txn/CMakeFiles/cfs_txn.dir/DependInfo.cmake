@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/lock_manager.cc" "src/txn/CMakeFiles/cfs_txn.dir/lock_manager.cc.o" "gcc" "src/txn/CMakeFiles/cfs_txn.dir/lock_manager.cc.o.d"
+  "/root/repo/src/txn/two_phase_commit.cc" "src/txn/CMakeFiles/cfs_txn.dir/two_phase_commit.cc.o" "gcc" "src/txn/CMakeFiles/cfs_txn.dir/two_phase_commit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cfs_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

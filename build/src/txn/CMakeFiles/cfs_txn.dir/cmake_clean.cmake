@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/cfs_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/cfs_txn.dir/two_phase_commit.cc.o"
+  "CMakeFiles/cfs_txn.dir/two_phase_commit.cc.o.d"
+  "libcfs_txn.a"
+  "libcfs_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

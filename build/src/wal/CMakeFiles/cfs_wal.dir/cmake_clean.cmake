@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_wal.dir/wal.cc.o"
+  "CMakeFiles/cfs_wal.dir/wal.cc.o.d"
+  "libcfs_wal.a"
+  "libcfs_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

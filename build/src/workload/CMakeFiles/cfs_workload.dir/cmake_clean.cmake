@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfs_workload.dir/traces.cc.o"
+  "CMakeFiles/cfs_workload.dir/traces.cc.o.d"
+  "CMakeFiles/cfs_workload.dir/workload.cc.o"
+  "CMakeFiles/cfs_workload.dir/workload.cc.o.d"
+  "libcfs_workload.a"
+  "libcfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

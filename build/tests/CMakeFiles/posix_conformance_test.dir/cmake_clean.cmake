@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_conformance_test.dir/posix_conformance_test.cc.o"
+  "CMakeFiles/posix_conformance_test.dir/posix_conformance_test.cc.o.d"
+  "posix_conformance_test"
+  "posix_conformance_test.pdb"
+  "posix_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renamer_test.dir/renamer_test.cc.o"
+  "CMakeFiles/renamer_test.dir/renamer_test.cc.o.d"
+  "renamer_test"
+  "renamer_test.pdb"
+  "renamer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renamer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tafdb_test.dir/tafdb_test.cc.o"
+  "CMakeFiles/tafdb_test.dir/tafdb_test.cc.o.d"
+  "tafdb_test"
+  "tafdb_test.pdb"
+  "tafdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tafdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/simnet_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_test[1]_include.cmake")
+include("/root/repo/build/tests/raft_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/tafdb_test[1]_include.cmake")
+include("/root/repo/build/tests/cfs_core_test[1]_include.cmake")
+include("/root/repo/build/tests/renamer_test[1]_include.cmake")
+include("/root/repo/build/tests/posix_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/filestore_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/failover_test[1]_include.cmake")
