@@ -8,6 +8,7 @@
 // elimination); "+no-proxy" trims another ~20-30% of latency everywhere.
 
 #include "bench/bench_common.h"
+#include "src/common/metrics.h"
 
 using namespace cfs;
 using namespace cfs::bench;
@@ -61,12 +62,18 @@ int main() {
       {"+no-proxy", [] { return MakeSmallCfs("+no-proxy", CfsFullOptions()); }},
   };
 
+  const char* op_names[3] = {"create", "mkdir", "getattr"};
+
   struct Row {
     std::string name;
     double kops[3];
     double avg_us[3];
+    PhaseBreakdown phases[3];
   };
   std::vector<Row> rows;
+  // The last configuration's system stays up through the final registry
+  // dump so its SimNet edge probe is included.
+  std::function<void()> deferred_stop;
 
   for (auto& config : configs) {
     System system = config.make();
@@ -79,12 +86,18 @@ int main() {
     row.name = config.name;
     for (int i = 0; i < 3; i++) {
       WorkloadRunner runner(system.MakeClients(clients));
-      RunResult result = runner.Run(ops[i], duration, duration / 4);
+      std::string label = "fig13." + config.name + "." + op_names[i];
+      RunResult result = runner.Run(ops[i], duration, duration / 4, label);
       row.kops[i] = result.kops();
       row.avg_us[i] = result.latency.mean();
+      row.phases[i] = result.phases;
     }
     rows.push_back(row);
-    system.stop();
+    if (&config == &configs.back()) {
+      deferred_stop = system.stop;
+    } else {
+      system.stop();
+    }
   }
 
   const Row* base_row = nullptr;
@@ -92,7 +105,6 @@ int main() {
     if (row.name == "CFS-base") base_row = &row;
   }
 
-  const char* op_names[3] = {"create", "mkdir", "getattr"};
   PrintHeader("Figure 13: throughput normalized to CFS-base (10% contention)");
   std::printf("%-12s %9s %9s %9s   (absolute Kops/s)\n", "config",
               op_names[0], op_names[1], op_names[2]);
@@ -116,5 +128,31 @@ int main() {
     std::printf("   [%.0f %.0f %.0f]\n", row.avg_us[0], row.avg_us[1],
                 row.avg_us[2]);
   }
+
+  // Where each configuration spends its time, from the per-op trace spans:
+  // resolve (path resolution), lock (lock acquire/release RPCs + queueing,
+  // zero on the primitive path), exec (shard-side execution incl. 2PC),
+  // other (RPC transit, proxy hop, client work). The ablation's mechanism
+  // is visible here: "+primitives" zeroes the lock column, "+no-proxy"
+  // shrinks "other".
+  PrintHeader("Figure 13: avg latency phase split (us, from trace spans)");
+  std::printf("%-12s %-8s %9s %9s %9s %9s %9s\n", "config", "op", "total",
+              "resolve", "lock", "exec", "other");
+  for (const auto& row : rows) {
+    for (int i = 0; i < 3; i++) {
+      const PhaseBreakdown& ph = row.phases[i];
+      double total = ph.AvgTotalUs();
+      double resolve = ph.AvgPhaseUs(Phase::kResolve);
+      double lock = ph.AvgPhaseUs(Phase::kLockWait);
+      double exec = ph.AvgPhaseUs(Phase::kShardExec);
+      std::printf("%-12s %-8s %9.0f %9.0f %9.0f %9.0f %9.0f\n",
+                  row.name.c_str(), op_names[i], total, resolve, lock, exec,
+                  total - resolve - lock - exec);
+    }
+  }
+
+  PrintHeader("Metrics registry dump");
+  std::printf("%s\n", MetricsRegistry::Global().DumpJson().c_str());
+  deferred_stop();
   return 0;
 }

@@ -8,7 +8,7 @@
 //       substantial base to the dominant cost as contention rises.
 
 #include "bench/bench_common.h"
-#include "src/txn/lock_manager.h"
+#include "src/common/metrics.h"
 
 using namespace cfs;
 using namespace cfs::bench;
@@ -59,42 +59,36 @@ int main() {
   }
 
   // ---- (b) latency breakdown ----
-  // Custom loop so the thread-local lock-phase accumulator brackets each op.
+  // The split comes from each op's trace spans: every lock acquire/release
+  // RPC (plus in-queue blocking) runs under a kLockWait span, shard
+  // execution under kShardExec, path resolution under kResolve. "Other" is
+  // the remainder of op wall time (untraced RPC transit, client work).
   PrintHeader("Figure 4(b): create latency breakdown (12 clients)");
-  std::printf("%-12s %10s %10s %10s %8s\n", "contention", "total(us)",
-              "lock(us)", "other(us)", "lock%");
+  std::printf("%-12s %10s %10s %10s %10s %8s\n", "contention", "total(us)",
+              "lock(us)", "exec(us)", "other(us)", "lock%");
   for (double contention : contentions) {
     System system = MakeSmallHopsFs();
     size_t clients = 12;
     PreparePopulation(system, clients, 0, 0);
-    auto client_objs = system.MakeClients(clients);
-    std::atomic<int64_t> total_us{0}, lock_us{0};
-    std::atomic<uint64_t> ops{0};
-    std::atomic<bool> running{true};
-    std::vector<std::thread> threads;
-    for (size_t t = 0; t < clients; t++) {
-      threads.emplace_back([&, t] {
-        Rng rng(17 * (t + 1));
-        uint64_t seq = 0;
-        auto op = MakeCreateOp(contention);
-        while (running.load(std::memory_order_relaxed)) {
-          LockManager::ResetThreadWait();
-          Stopwatch sw;
-          (void)op(client_objs[t].get(), t, seq++, rng);
-          total_us.fetch_add(sw.ElapsedMicros());
-          lock_us.fetch_add(LockManager::ThreadWaitMicros());
-          ops.fetch_add(1);
-        }
-      });
+    WorkloadRunner runner(system.MakeClients(clients));
+    std::string label =
+        "fig4.create.c" + std::to_string(static_cast<int>(contention * 100));
+    RunResult result =
+        runner.Run(MakeCreateOp(contention), duration, duration / 4, label);
+    const PhaseBreakdown& ph = result.phases;
+    double total = ph.AvgTotalUs();
+    double lock = ph.AvgPhaseUs(Phase::kLockWait);
+    double exec = ph.AvgPhaseUs(Phase::kShardExec);
+    double other = total - lock - exec;  // resolve + RPC transit + client
+    std::printf("%-12.0f %10.0f %10.0f %10.0f %10.0f %7.1f%%\n",
+                contention * 100, total, lock, exec, other,
+                100.0 * ph.Share(Phase::kLockWait));
+    if (contention == contentions.back()) {
+      // Dump while the last system is still up so its SimNet edge probe is
+      // included alongside the published trace aggregates.
+      PrintHeader("Metrics registry dump");
+      std::printf("%s\n", MetricsRegistry::Global().DumpJson().c_str());
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(duration));
-    running.store(false);
-    for (auto& th : threads) th.join();
-    double n = static_cast<double>(ops.load());
-    double total = total_us.load() / n;
-    double lock = lock_us.load() / n;
-    std::printf("%-12.0f %10.0f %10.0f %10.0f %7.1f%%\n", contention * 100,
-                total, lock, total - lock, 100.0 * lock / total);
     system.stop();
   }
   return 0;

@@ -1,6 +1,7 @@
 #include "src/baselines/baseline_common.h"
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 
 namespace cfs {
 
@@ -45,6 +46,7 @@ StatusOr<InodeRecord> BaselineEngineBase::ReadRow(const InodeKey& key) {
 
 PrimitiveResult BaselineEngineBase::ExecOnShard(InodeId kid,
                                                 const PrimitiveOp& op) {
+  TraceSpan span(Phase::kShardExec);
   TafDbShard* shard = tafdb_->ShardFor(kid);
   Status delivered = net_->BeginCall(self_, shard->ServiceNetId());
   if (!delivered.ok()) {
@@ -75,33 +77,29 @@ StatusOr<std::vector<InodeRecord>> BaselineEngineBase::ScanDirRows(
 Status BaselineEngineBase::LockOnShard(TxnId txn, InodeId kid,
                                        std::vector<std::string> keys) {
   // The whole acquisition (RPC round trip + queueing inside the lock
-  // manager) counts as lock-phase time for the Fig 4 breakdown. The queue
-  // wait is already accumulated by the lock manager itself; add the
-  // network portion on top.
+  // manager) counts as lock-phase time for the Fig 4 breakdown. The span
+  // owns the phase while open, so the lock manager's own queue-wait stamp
+  // inside is suppressed rather than double counted.
+  TraceSpan span(Phase::kLockWait);
   TafDbShard* shard = tafdb_->ShardFor(kid);
-  Stopwatch sw;
-  int64_t queued_before = LockManager::ThreadWaitMicros();
-  Status st = net_->Call(self_, shard->ServiceNetId(), [&] {
+  return net_->Call(self_, shard->ServiceNetId(), [&] {
     return shard->locks()->LockAll(txn, std::move(keys), LockMode::kExclusive,
                                    lock_timeout_us_);
   });
-  int64_t queued = LockManager::ThreadWaitMicros() - queued_before;
-  LockManager::AddThreadWait(sw.ElapsedMicros() - queued);
-  return st;
 }
 
 void BaselineEngineBase::UnlockOnShard(TxnId txn, InodeId kid) {
+  TraceSpan span(Phase::kLockWait);
   TafDbShard* shard = tafdb_->ShardFor(kid);
-  Stopwatch sw;
   (void)net_->Call(self_, shard->ServiceNetId(), [&]() -> Status {
     shard->locks()->UnlockAll(txn);
     return Status::Ok();
   });
-  LockManager::AddThreadWait(sw.ElapsedMicros());
 }
 
 Status BaselineEngineBase::CommitWriteSets(std::map<size_t, PrimitiveOp> ops,
                                            TxnId txn) {
+  TraceSpan span(Phase::kShardExec);
   if (ops.empty()) return Status::Ok();
   if (ops.size() == 1) {
     TafDbShard* shard = tafdb_->shard(ops.begin()->first);
@@ -137,6 +135,7 @@ StatusOr<InodeId> BaselineEngineBase::ResolveDirId(const std::string& path) {
 
 StatusOr<BaselineEngineBase::Resolved> BaselineEngineBase::ResolveParent(
     const std::string& path) {
+  TraceSpan span(Phase::kResolve);
   auto split = SplitParent(path);
   if (!split.ok()) return split.status();
   auto& [parent_path, name] = *split;
@@ -150,6 +149,7 @@ StatusOr<BaselineEngineBase::Resolved> BaselineEngineBase::ResolveParent(
 
 StatusOr<BaselineEngineBase::Resolved> BaselineEngineBase::Resolve(
     const std::string& path) {
+  TraceSpan span(Phase::kResolve);
   if (path == "/") {
     Resolved root;
     root.id = kRootInode;

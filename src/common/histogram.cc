@@ -70,6 +70,8 @@ double Histogram::mean() const {
 
 int64_t Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
   int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(count_));
   if (rank >= count_) rank = count_ - 1;
   int64_t seen = 0;
@@ -105,6 +107,14 @@ void StripedHistogram::Record(size_t thread_index, int64_t value_us) {
   while (s.lock->test_and_set(std::memory_order_acquire)) {
   }
   s.h->Record(value_us);
+  s.lock->clear(std::memory_order_release);
+}
+
+void StripedHistogram::Merge(const Histogram& other) {
+  auto& s = stripes_[0];
+  while (s.lock->test_and_set(std::memory_order_acquire)) {
+  }
+  s.h->Merge(other);
   s.lock->clear(std::memory_order_release);
 }
 

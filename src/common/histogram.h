@@ -25,7 +25,7 @@ class Histogram {
   int64_t count() const { return count_; }
   double mean() const;
   int64_t max() const { return max_; }
-  int64_t Percentile(double p) const;  // p in (0, 100)
+  int64_t Percentile(double p) const;  // p clamped to [0, 100]; 0 when empty
   int64_t P50() const { return Percentile(50); }
   int64_t P99() const { return Percentile(99); }
   int64_t P999() const { return Percentile(99.9); }
@@ -50,6 +50,8 @@ class StripedHistogram {
 
   // thread_index need not be dense; it is folded onto the stripe count.
   void Record(size_t thread_index, int64_t value_us);
+  // Folds a pre-aggregated histogram into one stripe (end-of-run merges).
+  void Merge(const Histogram& other);
   Histogram Aggregate() const;
   void Reset();
 

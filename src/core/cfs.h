@@ -19,6 +19,7 @@
 #define CFS_CORE_CFS_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -150,6 +151,10 @@ class CfsEngine : public MetadataClient {
   StatusOr<Resolved> Resolve(const std::string& path,
                              bool bypass_final_cache = false);
   StatusOr<InodeId> ResolveDirId(const std::string& path);
+
+  // Runs a lock acquire/release RPC under a kLockWait trace span (the
+  // paper's "lock phase": the RPC round trips plus in-queue blocking).
+  Status LockPhaseCall(NodeId service, const std::function<Status()>& fn);
 
   // One dentry read from TafDB (1 RPC).
   StatusOr<InodeRecord> ReadEntry(InodeId parent, const std::string& name);

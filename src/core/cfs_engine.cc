@@ -24,6 +24,7 @@
 #include <map>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/core/cfs.h"
 #include "src/core/gc.h"
 
@@ -98,7 +99,14 @@ StatusOr<InodeRecord> CfsEngine::ReadTafAttr(InodeId id) {
   });
 }
 
+Status CfsEngine::LockPhaseCall(NodeId service,
+                                const std::function<Status()>& fn) {
+  TraceSpan span(Phase::kLockWait);
+  return fs_->net()->Call(self_, service, fn);
+}
+
 PrimitiveResult CfsEngine::ExecOnShard(InodeId kid, const PrimitiveOp& op) {
+  TraceSpan span(Phase::kShardExec);
   TafDbShard* shard = fs_->tafdb()->ShardFor(kid);
   Status delivered = fs_->net()->BeginCall(self_, shard->ServiceNetId());
   if (!delivered.ok()) {
@@ -126,6 +134,7 @@ StatusOr<InodeId> CfsEngine::ResolveDirId(const std::string& path) {
 
 StatusOr<CfsEngine::Resolved> CfsEngine::ResolveParent(
     const std::string& path) {
+  TraceSpan span(Phase::kResolve);
   auto split = SplitParent(path);
   if (!split.ok()) return split.status();
   auto& [parent_path, name] = *split;
@@ -139,6 +148,9 @@ StatusOr<CfsEngine::Resolved> CfsEngine::ResolveParent(
 
 StatusOr<CfsEngine::Resolved> CfsEngine::Resolve(const std::string& path,
                                                  bool bypass_final_cache) {
+  // The same-phase guard makes the outermost frame of the ResolveParent /
+  // ResolveDirId / Resolve recursion own the whole resolution time.
+  TraceSpan span(Phase::kResolve);
   if (path == "/") {
     Resolved root;
     root.id = kRootInode;
@@ -166,6 +178,7 @@ StatusOr<CfsEngine::Resolved> CfsEngine::Resolve(const std::string& path,
 // Attribute placement
 
 StatusOr<InodeRecord> CfsEngine::FetchAttr(InodeId id, InodeType type) {
+  TraceSpan span(Phase::kShardExec);
   if (type != InodeType::kDirectory && fs_->options().tiered_attrs) {
     FileStoreNode* node = fs_->filestore()->NodeFor(id);
     return fs_->net()->Call(self_, node->ServiceNetId(),
@@ -175,6 +188,7 @@ StatusOr<InodeRecord> CfsEngine::FetchAttr(InodeId id, InodeType type) {
 }
 
 Status CfsEngine::PlaceFileAttr(const InodeRecord& attr) {
+  TraceSpan span(Phase::kShardExec);
   if (fs_->options().tiered_attrs) {
     FileStoreNode* node = fs_->filestore()->NodeFor(attr.id);
     // Piggyback the first (empty) data block on the attribute creation.
@@ -218,6 +232,7 @@ void CfsEngine::DeleteFileAttrAsync(InodeId id) {
 
 Status CfsEngine::CommitWriteSets(std::map<size_t, PrimitiveOp> ops,
                                   TxnId txn) {
+  TraceSpan span(Phase::kShardExec);
   if (ops.empty()) return Status::Ok();
   if (ops.size() == 1) {
     TafDbShard* shard = fs_->tafdb()->shard(ops.begin()->first);
@@ -286,13 +301,13 @@ Status CfsEngine::CreateCommon(const std::string& path, uint32_t mode,
   std::string attr_key = InodeKey::AttrRecord(parent->parent).Encode();
   std::string entry_key =
       InodeKey::IdRecord(parent->parent, parent->name).Encode();
-  Status lock_st = fs_->net()->Call(self_, shard_p->ServiceNetId(), [&] {
+  Status lock_st = LockPhaseCall(shard_p->ServiceNetId(), [&] {
     return shard_p->locks()->LockAll(txn, {attr_key, entry_key},
                                      LockMode::kExclusive, kLockTimeoutUs);
   });
   if (!lock_st.ok()) return lock_st;
   auto unlock = [&] {
-    (void)fs_->net()->Call(self_, shard_p->ServiceNetId(), [&]() -> Status {
+    (void)LockPhaseCall(shard_p->ServiceNetId(), [&]() -> Status {
       shard_p->locks()->UnlockAll(txn);
       return Status::Ok();
     });
@@ -325,27 +340,25 @@ Status CfsEngine::CreateCommon(const std::string& path, uint32_t mode,
   Status commit_st;
   if (fs_->options().tiered_attrs) {
     // "+new-org" without primitives: the attribute write joins the txn as a
-    // FileStore 2PC participant (no deterministic-order trick yet).
-    FileStoreNode* node = fs_->filestore()->NodeFor(id);
-    FileStoreCommand put;
-    put.kind = FileStoreCommand::Kind::kPutAttr;
-    put.id = id;
-    put.attr = attr;
-    Status st = fs_->net()->Call(self_, node->ServiceNetId(),
-                                 [&] { return node->Stage(txn, put); });
-    if (!st.ok()) {
-      unlock();
-      return st;
-    }
-    st = fs_->net()->Call(self_, shard_p->ServiceNetId(), [&] {
-      return shard_p->Stage(txn, nsop);
-    });
-    if (!st.ok()) {
-      unlock();
-      return st;
-    }
-    TwoPhaseCommit tpc(fs_->net());
-    commit_st = tpc.Run(self_, {shard_p, node}, txn);
+    // FileStore 2PC participant (no deterministic-order trick yet). The
+    // span closes before unlock() so lock and exec phases stay disjoint.
+    TraceSpan exec_span(Phase::kShardExec);
+    commit_st = [&]() -> Status {
+      FileStoreNode* node = fs_->filestore()->NodeFor(id);
+      FileStoreCommand put;
+      put.kind = FileStoreCommand::Kind::kPutAttr;
+      put.id = id;
+      put.attr = attr;
+      Status st = fs_->net()->Call(self_, node->ServiceNetId(),
+                                   [&] { return node->Stage(txn, put); });
+      if (!st.ok()) return st;
+      st = fs_->net()->Call(self_, shard_p->ServiceNetId(), [&] {
+        return shard_p->Stage(txn, nsop);
+      });
+      if (!st.ok()) return st;
+      TwoPhaseCommit tpc(fs_->net());
+      return tpc.Run(self_, {shard_p, node}, txn);
+    }();
   } else {
     PrimitiveOp attr_op;
     attr_op.puts.push_back(attr);
@@ -414,13 +427,13 @@ Status CfsEngine::Mkdir(const std::string& path, uint32_t mode) {
   std::string attr_key = InodeKey::AttrRecord(parent->parent).Encode();
   std::string entry_key =
       InodeKey::IdRecord(parent->parent, parent->name).Encode();
-  Status lock_st = fs_->net()->Call(self_, shard_p->ServiceNetId(), [&] {
+  Status lock_st = LockPhaseCall(shard_p->ServiceNetId(), [&] {
     return shard_p->locks()->LockAll(txn, {attr_key, entry_key},
                                      LockMode::kExclusive, kLockTimeoutUs);
   });
   if (!lock_st.ok()) return lock_st;
   auto unlock = [&] {
-    (void)fs_->net()->Call(self_, shard_p->ServiceNetId(), [&]() -> Status {
+    (void)LockPhaseCall(shard_p->ServiceNetId(), [&]() -> Status {
       shard_p->locks()->UnlockAll(txn);
       return Status::Ok();
     });
@@ -550,14 +563,14 @@ Status CfsEngine::Rmdir(const std::string& path) {
   std::vector<TafDbShard*> locked;
   auto unlock_all = [&] {
     for (TafDbShard* s : locked) {
-      (void)fs_->net()->Call(self_, s->ServiceNetId(), [&]() -> Status {
+      (void)LockPhaseCall(s->ServiceNetId(), [&]() -> Status {
         s->locks()->UnlockAll(txn);
         return Status::Ok();
       });
     }
   };
   for (auto& plan : plans) {
-    Status st = fs_->net()->Call(self_, plan.shard->ServiceNetId(), [&] {
+    Status st = LockPhaseCall(plan.shard->ServiceNetId(), [&] {
       return plan.shard->locks()->LockAll(txn, plan.keys,
                                           LockMode::kExclusive,
                                           kLockTimeoutUs);
@@ -664,13 +677,13 @@ Status CfsEngine::Unlink(const std::string& path) {
   std::string attr_key = InodeKey::AttrRecord(resolved->parent).Encode();
   std::string entry_key =
       InodeKey::IdRecord(resolved->parent, resolved->name).Encode();
-  Status lock_st = fs_->net()->Call(self_, shard_p->ServiceNetId(), [&] {
+  Status lock_st = LockPhaseCall(shard_p->ServiceNetId(), [&] {
     return shard_p->locks()->LockAll(txn, {attr_key, entry_key},
                                      LockMode::kExclusive, kLockTimeoutUs);
   });
   if (!lock_st.ok()) return lock_st;
   auto unlock = [&] {
-    (void)fs_->net()->Call(self_, shard_p->ServiceNetId(), [&]() -> Status {
+    (void)LockPhaseCall(shard_p->ServiceNetId(), [&]() -> Status {
       shard_p->locks()->UnlockAll(txn);
       return Status::Ok();
     });
@@ -809,7 +822,7 @@ Status CfsEngine::SetAttr(const std::string& path, const SetAttrSpec& spec) {
   TafDbShard* shard = fs_->tafdb()->ShardFor(resolved->id);
   TxnId txn = NextTxn();
   std::string attr_key = InodeKey::AttrRecord(resolved->id).Encode();
-  Status lock_st = fs_->net()->Call(self_, shard->ServiceNetId(), [&] {
+  Status lock_st = LockPhaseCall(shard->ServiceNetId(), [&] {
     return shard->locks()->Lock(txn, attr_key, LockMode::kExclusive,
                                 kLockTimeoutUs);
   });
@@ -825,7 +838,7 @@ Status CfsEngine::SetAttr(const std::string& path, const SetAttrSpec& spec) {
       return shard->CommitLocal(op).status;
     });
   }
-  (void)fs_->net()->Call(self_, shard->ServiceNetId(), [&]() -> Status {
+  (void)LockPhaseCall(shard->ServiceNetId(), [&]() -> Status {
     shard->locks()->UnlockAll(txn);
     return Status::Ok();
   });

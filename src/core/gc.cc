@@ -3,9 +3,33 @@
 #include <chrono>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/core/cfs.h"
 
 namespace cfs {
+namespace {
+
+// GC runs on its own thread, so it only feeds global counters (its work is
+// never part of a client op's trace).
+struct GcMetrics {
+  Counter* events;
+  Counter* orphan_attrs;
+  Counter* missed_deletes;
+  Counter* dangling_entries;
+};
+
+GcMetrics& Metrics() {
+  static GcMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return GcMetrics{r.GetCounter("gc.events_processed"),
+                     r.GetCounter("gc.orphan_attrs_deleted"),
+                     r.GetCounter("gc.missed_deletes_fixed"),
+                     r.GetCounter("gc.dangling_entries_removed")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 GarbageCollector::GarbageCollector(Cfs* fs) : fs_(fs) {}
 
@@ -64,6 +88,7 @@ void GarbageCollector::IngestTafDb() {
       if (cmd.kind == ShardCommand::Kind::kAbortTxn) continue;
       const PrimitiveOp& op = cmd.op;
       stats_.events_processed++;
+      Metrics().events->Add();
 
       std::set<InodeId> created_attrs;
       std::set<InodeId> inserted_ids;
@@ -136,6 +161,7 @@ void GarbageCollector::IngestFileStore() {
     for (auto& [index, raw_cmd] : feed) {
       filestore_cursor_[n] = index;
       stats_.events_processed++;
+      Metrics().events->Add();
       const FileStoreCommand* cmd = &raw_cmd;
       StatusOr<FileStoreCommand> inner = Status::NotFound("");
       if (cmd->kind == FileStoreCommand::Kind::kPrepare) {
@@ -192,6 +218,7 @@ void GarbageCollector::Reclaim() {
     if (now - it->second >= grace) {
       DeleteAttrEverywhere(it->first);
       stats_.orphan_attrs_deleted++;
+      Metrics().orphan_attrs->Add();
       it = pending_create_.erase(it);
     } else {
       ++it;
@@ -211,6 +238,7 @@ void GarbageCollector::Reclaim() {
         DeleteAttrEverywhere(it->first);
       }
       stats_.missed_deletes_fixed++;
+      Metrics().missed_deletes->Add();
       it = pending_delete_.erase(it);
     } else {
       ++it;
@@ -255,6 +283,7 @@ void GarbageCollector::ProcessDangling() {
     auto result = fs_->tafdb()->ShardFor(d.parent)->ExecutePrimitive(op);
     if (result.status.ok() && result.deleted > 0) {
       stats_.dangling_entries_removed++;
+      Metrics().dangling_entries->Add();
     }
   }
 }

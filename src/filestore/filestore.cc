@@ -2,9 +2,26 @@
 
 #include "src/common/encoding.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace cfs {
 namespace {
+
+struct FileStoreMetrics {
+  Counter* mutations;
+  Counter* attr_reads;
+  Counter* block_reads;
+};
+
+FileStoreMetrics& Metrics() {
+  static FileStoreMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return FileStoreMetrics{r.GetCounter("filestore.mutations"),
+                            r.GetCounter("filestore.attr_reads"),
+                            r.GetCounter("filestore.block_reads")};
+  }();
+  return m;
+}
 
 void PutBigEndian64(std::string* dst, uint64_t v) {
   char buf[8];
@@ -342,6 +359,7 @@ void FileStoreNode::ReadProcessingGate() const {
 }
 
 Status FileStoreNode::Propose(const FileStoreCommand& cmd) {
+  Metrics().mutations->Add();
   FileStoreCommand stamped = cmd;
   stamped.request_id =
       (static_cast<uint64_t>(group_->replica(0)->net_id()) << 40) |
@@ -377,6 +395,7 @@ Status FileStoreNode::SetAttr(InodeId id, const UpdateSpec& update) {
 }
 
 StatusOr<InodeRecord> FileStoreNode::GetAttr(InodeId id) const {
+  Metrics().attr_reads->Add();
   ReadProcessingGate();
   auto value = LeaderSm()->kv().Get(FileStoreSm::AttrKey(id));
   if (!value.ok()) return value.status();
@@ -399,6 +418,7 @@ Status FileStoreNode::WriteBlock(InodeId id, uint64_t index, std::string data,
 
 StatusOr<std::string> FileStoreNode::ReadBlock(InodeId id,
                                                uint64_t index) const {
+  Metrics().block_reads->Add();
   ReadProcessingGate();
   return LeaderSm()->kv().Get(FileStoreSm::BlockKey(id, index));
 }

@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/metrics.h"
+
 namespace cfs {
 namespace {
 
 thread_local uint64_t t_hops = 0;
+
+uint64_t EdgeKey(NodeId from, NodeId to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
 
 thread_local uint64_t t_rng_state =
     0x9e3779b97f4a7c15ULL ^
@@ -22,31 +28,43 @@ int64_t Jitter(int64_t base_us, int64_t jitter_pct) {
 
 }  // namespace
 
-SimNet::SimNet(NetOptions options) : options_(options) {}
+SimNet::SimNet(NetOptions options)
+    : options_(options), nodes_(new Node[kMaxNodes]) {
+  static std::atomic<uint64_t> instance{0};
+  std::string name = "simnet#" + std::to_string(instance.fetch_add(1));
+  probe_handle_ = MetricsRegistry::Global().RegisterProbe(
+      std::move(name), [this] { return ProbeSamples(); });
+}
+
+SimNet::~SimNet() {
+  MetricsRegistry::Global().UnregisterProbe(probe_handle_);
+}
 
 NodeId SimNet::AddNode(std::string name, uint32_t server) {
   std::lock_guard<std::mutex> lock(mu_);
-  NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(Node{std::move(name), server,
-                        std::make_unique<std::atomic<uint64_t>>(0)});
-  return id;
+  size_t id = num_nodes_.load(std::memory_order_relaxed);
+  assert(id < kMaxNodes);
+  nodes_[id].name = std::move(name);
+  nodes_[id].server = server;
+  nodes_[id].calls = std::make_unique<std::atomic<uint64_t>>(0);
+  // Publish: concurrent readers (raft replicators mid-call while a client
+  // node registers) only dereference slots below num_nodes_.
+  num_nodes_.store(id + 1, std::memory_order_release);
+  return static_cast<NodeId>(id);
 }
 
 uint32_t SimNet::ServerOf(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  assert(node < nodes_.size());
+  assert(node < num_nodes_.load(std::memory_order_acquire));
   return nodes_[node].server;
 }
 
 const std::string& SimNet::NameOf(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  assert(node < nodes_.size());
+  assert(node < num_nodes_.load(std::memory_order_acquire));
   return nodes_[node].name;
 }
 
 size_t SimNet::NumNodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return nodes_.size();
+  return num_nodes_.load(std::memory_order_acquire);
 }
 
 void SimNet::SetNodeDown(NodeId node, bool down) {
@@ -90,16 +108,25 @@ Status SimNet::BeginCall(NodeId from, NodeId to) {
       return Status::Unavailable("network partition");
     }
   }
-  InjectLatency(from, to);
+  int64_t injected_us = InjectLatency(from, to);
   total_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (injected_us > 0) {
+    total_injected_us_.fetch_add(injected_us, std::memory_order_relaxed);
+  }
   t_hops++;
-  // nodes_ never shrinks; index read without the lock is safe after AddNode.
+  OpTrace::AddPhase(Phase::kRpc, injected_us);
   nodes_[to].calls->fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(edge_mu_);
+    EdgeStat& edge = edges_[EdgeKey(from, to)];
+    edge.calls++;
+    edge.injected_us += injected_us;
+  }
   return Status::Ok();
 }
 
-void SimNet::InjectLatency(NodeId from, NodeId to) {
-  if (options_.mode == LatencyMode::kZero) return;
+int64_t SimNet::InjectLatency(NodeId from, NodeId to) {
+  if (options_.mode == LatencyMode::kZero) return 0;
   int64_t base = (nodes_[from].server == nodes_[to].server)
                      ? options_.same_node_rtt_us
                      : options_.cross_node_rtt_us;
@@ -107,20 +134,66 @@ void SimNet::InjectLatency(NodeId from, NodeId to) {
   if (us > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
+  return us > 0 ? us : 0;
 }
 
 uint64_t SimNet::CallsTo(NodeId node) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  assert(node < nodes_.size());
+  assert(node < num_nodes_.load(std::memory_order_acquire));
   return nodes_[node].calls->load();
 }
 
-void SimNet::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  total_calls_.store(0);
-  for (auto& n : nodes_) {
-    n.calls->store(0);
+uint64_t SimNet::CallsBetween(NodeId from, NodeId to) const {
+  std::lock_guard<std::mutex> lock(edge_mu_);
+  auto it = edges_.find(EdgeKey(from, to));
+  return it == edges_.end() ? 0 : it->second.calls;
+}
+
+int64_t SimNet::TotalInjectedLatencyUs() const {
+  return total_injected_us_.load(std::memory_order_relaxed);
+}
+
+std::map<std::pair<NodeId, NodeId>, SimNet::EdgeStat> SimNet::EdgeStats()
+    const {
+  std::lock_guard<std::mutex> lock(edge_mu_);
+  std::map<std::pair<NodeId, NodeId>, EdgeStat> out;
+  for (const auto& [key, stat] : edges_) {
+    out[{static_cast<NodeId>(key >> 32), static_cast<NodeId>(key)}] = stat;
   }
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> SimNet::ProbeSamples() const {
+  std::vector<std::pair<std::string, int64_t>> samples;
+  samples.emplace_back("total_calls", static_cast<int64_t>(TotalCalls()));
+  samples.emplace_back("total_injected_us", TotalInjectedLatencyUs());
+  auto edges = EdgeStats();
+  // Published slots are immutable; snapshot the names without any lock.
+  size_t n = num_nodes_.load(std::memory_order_acquire);
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; i++) names.push_back(nodes_[i].name);
+  for (const auto& [edge, stat] : edges) {
+    const std::string& from = names[edge.first];
+    const std::string& to = names[edge.second];
+    samples.emplace_back("calls." + from + "->" + to,
+                         static_cast<int64_t>(stat.calls));
+    if (stat.injected_us > 0) {
+      samples.emplace_back("injected_us." + from + "->" + to,
+                           stat.injected_us);
+    }
+  }
+  return samples;
+}
+
+void SimNet::ResetStats() {
+  total_calls_.store(0);
+  total_injected_us_.store(0);
+  size_t n = num_nodes_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; i++) {
+    nodes_[i].calls->store(0);
+  }
+  std::lock_guard<std::mutex> edge_lock(edge_mu_);
+  edges_.clear();
 }
 
 void SimNet::ResetThreadHops() { t_hops = 0; }

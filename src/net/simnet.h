@@ -6,13 +6,18 @@
 //      with kUnavailable without invoking the handler,
 //   2. injects the configured network round-trip latency on the caller
 //      thread (zero in unit tests, a real sleep in benchmarks),
-//   3. counts the hop, globally, per destination node, and in a thread-local
-//      counter so tests can assert exact RPC counts per operation.
+//   3. counts the hop, globally, per destination node, per (from,to) edge
+//      (with cumulative injected latency), in a thread-local counter so
+//      tests can assert exact RPC counts per operation, and as a kRpc stamp
+//      on the calling thread's OpTrace.
 //
 // The handler then runs synchronously on the caller's thread; services are
 // passive, internally synchronized objects. Server-side CPU queueing is not
 // modelled (see DESIGN.md §5) — lock queueing and raft-log serialization,
 // the effects the paper studies, are modelled by the services themselves.
+//
+// Each SimNet registers a dump-time probe ("simnet#<n>") with the global
+// MetricsRegistry exposing total/per-edge call counts and injected latency.
 
 #ifndef CFS_NET_SIMNET_H_
 #define CFS_NET_SIMNET_H_
@@ -20,6 +25,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -51,7 +57,17 @@ struct NetOptions {
 
 class SimNet {
  public:
+  // Per-(from,to) directed-edge traffic accounting.
+  struct EdgeStat {
+    uint64_t calls = 0;
+    int64_t injected_us = 0;  // cumulative injected round-trip latency
+  };
+
   explicit SimNet(NetOptions options = {});
+  ~SimNet();
+
+  SimNet(const SimNet&) = delete;
+  SimNet& operator=(const SimNet&) = delete;
 
   // Registers a node (a service instance placement). `server` identifies the
   // physical server the node lives on; nodes sharing a server communicate at
@@ -83,6 +99,9 @@ class SimNet {
   // Stats.
   uint64_t TotalCalls() const { return total_calls_.load(); }
   uint64_t CallsTo(NodeId node) const;
+  uint64_t CallsBetween(NodeId from, NodeId to) const;
+  int64_t TotalInjectedLatencyUs() const;
+  std::map<std::pair<NodeId, NodeId>, EdgeStat> EdgeStats() const;
   void ResetStats();
 
   // Thread-local hop counter: reset before an op, read after, to assert how
@@ -96,19 +115,35 @@ class SimNet {
  private:
   struct Node {
     std::string name;
-    uint32_t server;
+    uint32_t server = 0;
     std::unique_ptr<std::atomic<uint64_t>> calls;
   };
 
-  void InjectLatency(NodeId from, NodeId to);
+  // Returns the injected round-trip latency in microseconds (0 in kZero).
+  int64_t InjectLatency(NodeId from, NodeId to);
+  std::vector<std::pair<std::string, int64_t>> ProbeSamples() const;
+
+  // Node table capacity. Fixed so the hot path (BeginCall) can index nodes_
+  // without a lock: slots never move, a slot is fully initialized before
+  // num_nodes_ publishes it (release/acquire), and published slots are
+  // immutable apart from their atomic call counter.
+  static constexpr size_t kMaxNodes = 4096;
 
   NetOptions options_;
-  mutable std::mutex mu_;  // guards nodes_ growth and fault sets
-  std::vector<Node> nodes_;
+  mutable std::mutex mu_;  // serializes AddNode and guards fault sets
+  std::unique_ptr<Node[]> nodes_;
+  std::atomic<size_t> num_nodes_{0};
   std::set<NodeId> down_nodes_;
   std::set<std::pair<NodeId, NodeId>> partitions_;
   std::atomic<bool> has_faults_{false};
   std::atomic<uint64_t> total_calls_{0};
+  std::atomic<int64_t> total_injected_us_{0};
+  // Edge table, keyed (from << 32) | to. Guarded separately from mu_ so
+  // edge updates never serialize against fault-set reads; never acquire
+  // another lock while holding edge_mu_.
+  mutable std::mutex edge_mu_;
+  std::map<uint64_t, EdgeStat> edges_;
+  uint64_t probe_handle_ = 0;
 };
 
 }  // namespace cfs

@@ -6,6 +6,7 @@
 
 #include "src/common/encoding.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace cfs {
 namespace {
@@ -792,6 +793,13 @@ RaftNode* RaftGroup::Leader() {
 
 StatusOr<std::string> RaftGroup::Propose(std::string command,
                                          int64_t timeout_ms) {
+  // Spans the caller's full replication wait: leader discovery, append,
+  // quorum ack, apply. Runs on the proposing thread, so it lands in the
+  // thread's OpTrace.
+  TraceSpan span(Phase::kRaftAppend);
+  static Counter* const proposals =
+      MetricsRegistry::Global().GetCounter("raft.proposals");
+  proposals->Add();
   auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {

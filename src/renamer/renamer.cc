@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace cfs {
 namespace {
@@ -72,6 +73,12 @@ Status Renamer::Rename(const RenameRequest& req) {
   if (req.src_parent == req.dst_parent && req.src_name == req.dst_name) {
     return Status::Ok();  // rename to itself is a no-op
   }
+  // The whole normal-path coordination (locks, loop check, 2PC) counts as
+  // the renamer phase of the calling op's trace.
+  TraceSpan span(Phase::kRenamer);
+  static Counter* const renames =
+      MetricsRegistry::Global().GetCounter("renamer.renames");
+  renames->Add();
   NodeId self = CoordinatorNetId();
   TxnId txn = next_txn_.fetch_add(1);
   uint64_t ts = 0;
@@ -335,6 +342,10 @@ Status Renamer::Rename(const RenameRequest& req) {
       stats_.aborted++;
     }
   }
+  MetricsRegistry::Global()
+      .GetCounter(commit_status.ok() ? "renamer.committed"
+                                     : "renamer.aborted")
+      ->Add();
 
   if (!commit_status.ok()) return commit_status;
 

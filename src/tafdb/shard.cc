@@ -2,8 +2,34 @@
 
 #include "src/common/encoding.h"
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 
 namespace cfs {
+namespace {
+
+// Counts the primitive (single-shard atomic) path vs. the lock-based txn
+// path — the split the paper's §3.2 argument is about.
+struct TafDbMetrics {
+  Counter* primitives;
+  Counter* txn_commits;
+  Counter* prepares;
+  Counter* aborts;
+  Counter* reads;
+};
+
+TafDbMetrics& Metrics() {
+  static TafDbMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return TafDbMetrics{r.GetCounter("tafdb.primitives"),
+                        r.GetCounter("tafdb.txn_commits"),
+                        r.GetCounter("tafdb.prepares"),
+                        r.GetCounter("tafdb.aborts"),
+                        r.GetCounter("tafdb.reads")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 std::string ShardCommand::Encode() const {
   std::string out;
@@ -191,6 +217,11 @@ const TafDbShardSm* TafDbShard::LeaderSm() const {
 }
 
 PrimitiveResult TafDbShard::ExecutePrimitive(const PrimitiveOp& op) {
+  Metrics().primitives->Add();
+  return ProposePrimitive(op);
+}
+
+PrimitiveResult TafDbShard::ProposePrimitive(const PrimitiveOp& op) {
   ShardCommand cmd;
   cmd.kind = ShardCommand::Kind::kPrimitive;
   cmd.request_id =
@@ -219,12 +250,14 @@ void TafDbShard::TxnWriteProcessingGate() const {
 }
 
 StatusOr<InodeRecord> TafDbShard::Get(const InodeKey& key) const {
+  Metrics().reads->Add();
   ReadProcessingGate();
   return ReadRecord(LeaderSm()->kv(), key);
 }
 
 StatusOr<std::vector<InodeRecord>> TafDbShard::ScanDir(
     InodeId kid, const std::string& after, size_t limit) const {
+  Metrics().reads->Add();
   ReadProcessingGate();
   std::string lower = DirLowerBound(kid);
   if (!after.empty()) {
@@ -246,8 +279,9 @@ StatusOr<std::vector<InodeRecord>> TafDbShard::ScanDir(
 }
 
 PrimitiveResult TafDbShard::CommitLocal(const PrimitiveOp& write_set) {
+  Metrics().txn_commits->Add();
   TxnWriteProcessingGate();
-  return ExecutePrimitive(write_set);
+  return ProposePrimitive(write_set);
 }
 
 Status TafDbShard::Stage(TxnId txn, PrimitiveOp write_set) {
@@ -257,6 +291,7 @@ Status TafDbShard::Stage(TxnId txn, PrimitiveOp write_set) {
 }
 
 Status TafDbShard::Prepare(TxnId txn) {
+  Metrics().prepares->Add();
   PrimitiveOp op;
   {
     std::lock_guard<std::mutex> lock(staged_mu_);
@@ -278,6 +313,7 @@ Status TafDbShard::Prepare(TxnId txn) {
 }
 
 Status TafDbShard::Commit(TxnId txn) {
+  Metrics().txn_commits->Add();
   {
     std::lock_guard<std::mutex> lock(staged_mu_);
     staged_.erase(txn);
@@ -295,6 +331,7 @@ Status TafDbShard::Commit(TxnId txn) {
 }
 
 Status TafDbShard::Abort(TxnId txn) {
+  Metrics().aborts->Add();
   bool had_staged;
   {
     std::lock_guard<std::mutex> lock(staged_mu_);

@@ -143,6 +143,9 @@ class TafDbShard : public TxnParticipant {
 
  private:
   const TafDbShardSm* LeaderSm() const;
+  // Proposes a kPrimitive command through raft (shared by the CFS primitive
+  // path and the lock-based single-shard commit).
+  PrimitiveResult ProposePrimitive(const PrimitiveOp& op);
   void ReadProcessingGate() const;
 
   void TxnWriteProcessingGate() const;

@@ -4,10 +4,31 @@
 #include <cassert>
 #include <chrono>
 
+#include "src/common/metrics.h"
+
 namespace cfs {
 namespace {
 
-thread_local int64_t t_wait_us = 0;
+// Cached global-registry instruments shared by all LockManager instances.
+struct LockMetrics {
+  Counter* acquisitions;
+  Counter* contended;
+  Counter* timeouts;
+  Counter* wait_us;
+  Gauge* waiters;
+};
+
+LockMetrics& Metrics() {
+  static LockMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return LockMetrics{r.GetCounter("lockmgr.acquisitions"),
+                       r.GetCounter("lockmgr.contended"),
+                       r.GetCounter("lockmgr.timeouts"),
+                       r.GetCounter("lockmgr.wait_us"),
+                       r.GetGauge("lockmgr.waiters")};
+  }();
+  return m;
+}
 
 }  // namespace
 
@@ -59,6 +80,7 @@ Status LockManager::Lock(TxnId txn, std::string_view key, LockMode mode,
     }
     held_[txn].insert(std::string(key));
     stats_.acquisitions++;
+    Metrics().acquisitions->Add();
     return Status::Ok();
   }
 
@@ -66,6 +88,8 @@ Status LockManager::Lock(TxnId txn, std::string_view key, LockMode mode,
   uint64_t ticket = next_ticket_++;
   entry.queue.push_back(Waiter{txn, mode, ticket});
   stats_.contended_acquisitions++;
+  Metrics().contended->Add();
+  Metrics().waiters->Add(1);
   MonoNanos start = clock_->NowNanos();
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::microseconds(timeout_us);
@@ -90,7 +114,10 @@ Status LockManager::Lock(TxnId txn, std::string_view key, LockMode mode,
       stats_.timeouts++;
       int64_t waited = (clock_->NowNanos() - start) / 1000;
       stats_.total_wait_us += waited;
-      t_wait_us += waited;
+      OpTrace::AddPhase(Phase::kLockWait, waited);
+      Metrics().timeouts->Add();
+      Metrics().wait_us->Add(static_cast<uint64_t>(waited));
+      Metrics().waiters->Add(-1);
       cv_.notify_all();
       return Status::Timeout("lock timeout on " + std::string(key));
     }
@@ -108,7 +135,10 @@ Status LockManager::Lock(TxnId txn, std::string_view key, LockMode mode,
   stats_.acquisitions++;
   int64_t waited = (clock_->NowNanos() - start) / 1000;
   stats_.total_wait_us += waited;
-  t_wait_us += waited;
+  OpTrace::AddPhase(Phase::kLockWait, waited);
+  Metrics().acquisitions->Add();
+  Metrics().wait_us->Add(static_cast<uint64_t>(waited));
+  Metrics().waiters->Add(-1);
   // Our grant may unblock compatible readers queued behind us.
   cv_.notify_all();
   return Status::Ok();
@@ -176,9 +206,16 @@ size_t LockManager::HeldCount(TxnId txn) const {
   return it == held_.end() ? 0 : it->second.size();
 }
 
-void LockManager::ResetThreadWait() { t_wait_us = 0; }
-int64_t LockManager::ThreadWaitMicros() { return t_wait_us; }
-void LockManager::AddThreadWait(int64_t micros) { t_wait_us += micros; }
+// The legacy thread-wait accessors are pure delegates to the kLockWait
+// phase of the thread's OpTrace, so span-based and counter-based callers
+// agree on one number.
+void LockManager::ResetThreadWait() { OpTrace::ClearPhase(Phase::kLockWait); }
+int64_t LockManager::ThreadWaitMicros() {
+  return OpTrace::PhaseUs(Phase::kLockWait);
+}
+void LockManager::AddThreadWait(int64_t micros) {
+  OpTrace::AddPhase(Phase::kLockWait, micros);
+}
 
 LockManager::Stats LockManager::stats() const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -56,11 +56,14 @@ class LockManager {
   bool IsLocked(std::string_view key) const;
   size_t HeldCount(TxnId txn) const;
 
-  // Thread-local accumulated blocked time, for latency breakdowns.
+  // Thread-local accumulated blocked time, for latency breakdowns. These
+  // delegate to the calling thread's OpTrace kLockWait phase (see
+  // src/common/metrics.h) so span- and counter-based callers agree.
   static void ResetThreadWait();
   static int64_t ThreadWaitMicros();
   // Adds externally measured lock-phase time (e.g. the RPC round trips a
   // client spends acquiring/releasing remote locks) to the same counter.
+  // No-op while a kLockWait TraceSpan is open on this thread.
   static void AddThreadWait(int64_t micros);
 
   struct Stats {

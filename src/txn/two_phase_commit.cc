@@ -4,7 +4,29 @@
 #include <functional>
 #include <thread>
 
+#include "src/common/metrics.h"
+
 namespace cfs {
+namespace {
+
+struct TwoPcMetrics {
+  Counter* runs;
+  Counter* committed;
+  Counter* aborted;
+  Counter* prepare_rpcs;
+};
+
+TwoPcMetrics& Metrics() {
+  static TwoPcMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return TwoPcMetrics{r.GetCounter("2pc.runs"), r.GetCounter("2pc.committed"),
+                        r.GetCounter("2pc.aborted"),
+                        r.GetCounter("2pc.prepare_rpcs")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 Status TwoPhaseCommit::Run(NodeId coordinator,
                            const std::vector<TxnParticipant*>& participants,
@@ -37,26 +59,42 @@ Status TwoPhaseCommit::Run(NodeId coordinator,
     return results;
   };
 
-  // Phase 1: prepare.
+  // Phase 1: prepare. The spans run on the coordinator thread and so time
+  // each phase's full fan-out wall clock, even when participants execute on
+  // helper threads.
+  Metrics().runs->Add();
   Status failure = Status::Ok();
-  auto votes = fan_out([txn](TxnParticipant* p) { return p->Prepare(txn); });
+  std::vector<Status> votes;
+  {
+    TraceSpan span(Phase::kTwoPcPrepare);
+    votes = fan_out([txn](TxnParticipant* p) { return p->Prepare(txn); });
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.prepare_rpcs += unique.size();
   }
+  Metrics().prepare_rpcs->Add(unique.size());
   for (const Status& vote : votes) {
     if (!vote.ok()) failure = vote;
   }
 
   // Phase 2: decision.
   if (failure.ok()) {
-    (void)fan_out([txn](TxnParticipant* p) { return p->Commit(txn); });
+    {
+      TraceSpan span(Phase::kTwoPcDecision);
+      (void)fan_out([txn](TxnParticipant* p) { return p->Commit(txn); });
+    }
+    Metrics().committed->Add();
     std::lock_guard<std::mutex> lock(mu_);
     stats_.decision_rpcs += unique.size();
     stats_.committed++;
     return Status::Ok();
   }
-  (void)fan_out([txn](TxnParticipant* p) { return p->Abort(txn); });
+  {
+    TraceSpan span(Phase::kTwoPcDecision);
+    (void)fan_out([txn](TxnParticipant* p) { return p->Abort(txn); });
+  }
+  Metrics().aborted->Add();
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.decision_rpcs += unique.size();

@@ -7,8 +7,28 @@
 
 #include "src/common/crc32.h"
 #include "src/common/encoding.h"
+#include "src/common/metrics.h"
 
 namespace cfs {
+namespace {
+
+struct WalMetrics {
+  Counter* appends;
+  Counter* synced_appends;
+  Counter* fsync_us;
+};
+
+WalMetrics& Metrics() {
+  static WalMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return WalMetrics{r.GetCounter("wal.appends"),
+                      r.GetCounter("wal.synced_appends"),
+                      r.GetCounter("wal.fsync_us")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 Wal::Wal(WalOptions options) : options_(std::move(options)) {}
 
@@ -48,7 +68,11 @@ StatusOr<uint64_t> Wal::Append(std::string_view record, bool sync) {
     }
     if (sync) synced_appends_++;
   }
+  Metrics().appends->Add();
+  if (sync) Metrics().synced_appends->Add();
   if (sync && options_.fsync_delay_us > 0) {
+    TraceSpan span(Phase::kWalFsync);
+    Metrics().fsync_us->Add(static_cast<uint64_t>(options_.fsync_delay_us));
     std::this_thread::sleep_for(
         std::chrono::microseconds(options_.fsync_delay_us));
   }

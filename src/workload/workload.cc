@@ -1,6 +1,7 @@
 #include "src/workload/workload.h"
 
 #include <chrono>
+#include <mutex>
 #include <thread>
 
 #include "src/common/clock.h"
@@ -38,12 +39,15 @@ std::string_view MetaOpName(MetaOp op) {
 }
 
 RunResult WorkloadRunner::Run(const OpFn& op, int64_t duration_ms,
-                              int64_t warmup_ms) {
+                              int64_t warmup_ms,
+                              const std::string& trace_label) {
   std::atomic<bool> warming{warmup_ms > 0};
   std::atomic<bool> running{true};
   std::atomic<uint64_t> total_ops{0};
   std::atomic<uint64_t> total_errors{0};
   StripedHistogram latency(std::max<size_t>(clients_.size(), 1));
+  std::mutex phases_mu;
+  PhaseBreakdown phases;
 
   std::vector<std::thread> threads;
   threads.reserve(clients_.size());
@@ -53,17 +57,22 @@ RunResult WorkloadRunner::Run(const OpFn& op, int64_t duration_ms,
       uint64_t seq = 0;
       uint64_t ops = 0;
       uint64_t errors = 0;
+      PhaseBreakdown local;
       while (running.load(std::memory_order_relaxed)) {
-        Stopwatch sw;
+        OpTrace::Begin();
         Status st = op(clients_[t].get(), t, seq++, rng);
+        OpTraceData trace = OpTrace::Finish();
         if (!warming.load(std::memory_order_relaxed)) {
-          latency.Record(t, sw.ElapsedMicros());
+          latency.Record(t, trace.total_us);
+          local.Add(trace);
           ops++;
           if (!st.ok()) errors++;
         }
       }
       total_ops.fetch_add(ops);
       total_errors.fetch_add(errors);
+      std::lock_guard<std::mutex> lock(phases_mu);
+      phases.Merge(local);
     });
   }
 
@@ -82,12 +91,21 @@ RunResult WorkloadRunner::Run(const OpFn& op, int64_t duration_ms,
   result.errors = total_errors.load();
   result.seconds = seconds;
   result.latency = latency.Aggregate();
+  result.phases = phases;
+  if (!trace_label.empty()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    result.phases.PublishTo(registry, trace_label);
+    registry.GetHistogram("trace." + trace_label + ".latency")
+        ->Merge(result.latency);
+  }
   return result;
 }
 
 RunResult WorkloadRunner::RunCount(const OpFn& op, uint64_t ops_per_thread) {
   std::atomic<uint64_t> total_errors{0};
   StripedHistogram latency(std::max<size_t>(clients_.size(), 1));
+  std::mutex phases_mu;
+  PhaseBreakdown phases;
   Stopwatch window;
   std::vector<std::thread> threads;
   threads.reserve(clients_.size());
@@ -95,13 +113,18 @@ RunResult WorkloadRunner::RunCount(const OpFn& op, uint64_t ops_per_thread) {
     threads.emplace_back([&, t] {
       Rng rng(0xfeedface ^ (t * 0x9e3779b9));
       uint64_t errors = 0;
+      PhaseBreakdown local;
       for (uint64_t seq = 0; seq < ops_per_thread; seq++) {
-        Stopwatch sw;
+        OpTrace::Begin();
         Status st = op(clients_[t].get(), t, seq, rng);
-        latency.Record(t, sw.ElapsedMicros());
+        OpTraceData trace = OpTrace::Finish();
+        latency.Record(t, trace.total_us);
+        local.Add(trace);
         if (!st.ok()) errors++;
       }
       total_errors.fetch_add(errors);
+      std::lock_guard<std::mutex> lock(phases_mu);
+      phases.Merge(local);
     });
   }
   for (auto& th : threads) th.join();
@@ -111,6 +134,7 @@ RunResult WorkloadRunner::RunCount(const OpFn& op, uint64_t ops_per_thread) {
   result.errors = total_errors.load();
   result.seconds = window.ElapsedSeconds();
   result.latency = latency.Aggregate();
+  result.phases = phases;
   return result;
 }
 

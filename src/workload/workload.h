@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/common/metrics.h"
 #include "src/common/random.h"
 #include "src/core/metadata_client.h"
 
@@ -48,6 +49,9 @@ struct RunResult {
   uint64_t errors = 0;
   double seconds = 0;
   Histogram latency;
+  // Per-phase time aggregated from each op's OpTrace — the span-derived
+  // Lock/Execute/Other split the Fig 4/13 benches report.
+  PhaseBreakdown phases;
 
   double ops_per_sec() const { return seconds > 0 ? ops / seconds : 0; }
   double kops() const { return ops_per_sec() / 1000.0; }
@@ -65,8 +69,13 @@ class WorkloadRunner {
   explicit WorkloadRunner(std::vector<std::unique_ptr<MetadataClient>> clients)
       : clients_(std::move(clients)) {}
 
-  // Closed loop for `duration_ms` (wall clock) after `warmup_ms`.
-  RunResult Run(const OpFn& op, int64_t duration_ms, int64_t warmup_ms = 0);
+  // Closed loop for `duration_ms` (wall clock) after `warmup_ms`. Every op
+  // is bracketed with OpTrace::Begin()/Finish(); the aggregated phase
+  // breakdown lands in RunResult::phases. A non-empty `trace_label`
+  // additionally publishes the breakdown and latency histogram to the
+  // global MetricsRegistry under "trace.<label>.*".
+  RunResult Run(const OpFn& op, int64_t duration_ms, int64_t warmup_ms = 0,
+                const std::string& trace_label = "");
 
   // Fixed op count per thread (setup/populate phases).
   RunResult RunCount(const OpFn& op, uint64_t ops_per_thread);

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <thread>
 
+#include "src/common/metrics.h"
 #include "src/core/cfs.h"
 #include "src/core/gc.h"
 
@@ -86,6 +87,28 @@ TEST_P(CfsVariantTest, MkdirCreateLookupGetattr) {
   auto root = client_->GetAttr("/");
   ASSERT_TRUE(root.ok());
   EXPECT_GE(root->children, 1);
+}
+
+TEST_P(CfsVariantTest, CreateProducesExpectedSpanPhases) {
+  ASSERT_TRUE(client_->Mkdir("/spans", 0755).ok());
+
+  OpTrace::Begin();
+  ASSERT_TRUE(client_->Create("/spans/file", 0644).ok());
+  OpTraceData trace = OpTrace::Finish();
+
+  // Every create resolves its parent and executes on at least one shard.
+  // (Tests run with zero injected latency, so assert phase *counts*, not
+  // durations.)
+  EXPECT_GT(trace.PhaseCount(Phase::kResolve), 0u);
+  EXPECT_GT(trace.PhaseCount(Phase::kShardExec), 0u);
+  EXPECT_GT(trace.PhaseCount(Phase::kRpc), 0u);
+  if (fs_->options().primitives) {
+    // The primitive path never takes row locks: no lock phase at all.
+    EXPECT_EQ(trace.PhaseCount(Phase::kLockWait), 0u);
+  } else {
+    // The conventional path brackets lock acquire/release RPCs.
+    EXPECT_GT(trace.PhaseCount(Phase::kLockWait), 0u);
+  }
 }
 
 TEST_P(CfsVariantTest, PosixErrorSemantics) {

@@ -1,0 +1,257 @@
+#include "src/common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace cfs {
+namespace {
+
+void SleepMicros(int64_t us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+// ---------------------------------------------------------------------------
+// Registry instruments
+
+TEST(MetricsRegistry, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("ops");
+  Counter* b = registry.GetCounter("ops");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("other"));
+
+  Gauge* g = registry.GetGauge("depth");
+  EXPECT_EQ(g, registry.GetGauge("depth"));
+  LatencyRecorder* h = registry.GetHistogram("lat");
+  EXPECT_EQ(h, registry.GetHistogram("lat"));
+
+  // The three namespaces are independent.
+  (void)registry.GetGauge("ops");
+  EXPECT_EQ(a, registry.GetCounter("ops"));
+}
+
+TEST(MetricsRegistry, ConcurrentFindOrCreateAndAdd) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIters; i++) {
+        registry.GetCounter("shared")->Add();
+        registry.GetHistogram("lat")->Record(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(registry.GetCounter("shared")->value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(registry.GetHistogram("lat")->Snapshot().count(),
+            static_cast<int64_t>(kThreads) * kIters);
+}
+
+TEST(MetricsRegistry, DumpJsonShapeAndEscaping) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count")->Add(3);
+  registry.GetGauge("b.level")->Set(-7);
+  registry.GetHistogram("c.lat")->Record(100);
+  uint64_t handle = registry.RegisterProbe("probe\"x", [] {
+    return std::vector<std::pair<std::string, int64_t>>{{"k", 42}};
+  });
+
+  std::string json = registry.DumpJson();
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"b.level\":-7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c.lat\":{\"count\":1"), std::string::npos) << json;
+  // Quote in the probe name must be escaped.
+  EXPECT_NE(json.find("\"probe\\\"x\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"k\":42"), std::string::npos) << json;
+
+  registry.UnregisterProbe(handle);
+  EXPECT_EQ(registry.DumpJson().find("42"), std::string::npos);
+
+  std::string text = registry.DumpText();
+  EXPECT_NE(text.find("a.count 3"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistry, ResetAllZeroesInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(5);
+  registry.GetGauge("g")->Set(9);
+  registry.GetHistogram("h")->Record(10);
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("c")->value(), 0u);
+  EXPECT_EQ(registry.GetGauge("g")->value(), 0);
+  EXPECT_EQ(registry.GetHistogram("h")->Snapshot().count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram hardening
+
+TEST(HistogramHardening, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.Percentile(99.9), 0);
+  EXPECT_EQ(h.P50(), 0);
+}
+
+TEST(HistogramHardening, PercentileClampsOutOfRangeP) {
+  Histogram h;
+  for (int i = 1; i <= 100; i++) h.Record(i);
+  EXPECT_EQ(h.Percentile(-10), h.Percentile(0));
+  EXPECT_EQ(h.Percentile(250), h.Percentile(100));
+  EXPECT_GE(h.Percentile(100), h.Percentile(0));
+}
+
+TEST(HistogramHardening, StripedConcurrentRecordAndAggregate) {
+  StripedHistogram striped(8);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::atomic<bool> stop{false};
+  // Aggregate concurrently with recording: must not crash or misbehave.
+  std::thread reader([&] {
+    while (!stop.load()) {
+      Histogram snap = striped.Aggregate();
+      EXPECT_GE(snap.count(), 0);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&striped, t] {
+      for (int i = 0; i < kIters; i++) striped.Record(t, i % 100);
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(striped.Aggregate().count(),
+            static_cast<int64_t>(kThreads) * kIters);
+}
+
+TEST(HistogramHardening, StripedMergeFoldsHistogramIn) {
+  StripedHistogram striped(4);
+  striped.Record(0, 10);
+  Histogram other;
+  other.Record(20);
+  other.Record(30);
+  striped.Merge(other);
+  EXPECT_EQ(striped.Aggregate().count(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// OpTrace / TraceSpan
+
+TEST(OpTrace, SpanAccumulatesIntoCurrentOp) {
+  OpTrace::Begin();
+  {
+    TraceSpan span(Phase::kResolve);
+    SleepMicros(2000);
+  }
+  OpTraceData trace = OpTrace::Finish();
+  EXPECT_EQ(trace.PhaseCount(Phase::kResolve), 1u);
+  EXPECT_GE(trace.PhaseUs(Phase::kResolve), 1000);
+  EXPECT_GE(trace.total_us, trace.PhaseUs(Phase::kResolve));
+  EXPECT_EQ(trace.PhaseCount(Phase::kLockWait), 0u);
+}
+
+TEST(OpTrace, NestedSamePhaseSpanCountsOnce) {
+  OpTrace::Begin();
+  {
+    TraceSpan outer(Phase::kResolve);
+    {
+      TraceSpan inner(Phase::kResolve);  // recursion: must not double count
+      SleepMicros(1500);
+    }
+    // A manual stamp under an open same-phase span is also suppressed.
+    OpTrace::AddPhase(Phase::kResolve, 1000000);
+  }
+  OpTraceData trace = OpTrace::Finish();
+  EXPECT_EQ(trace.PhaseCount(Phase::kResolve), 1u);
+  EXPECT_LT(trace.PhaseUs(Phase::kResolve), 500000);
+}
+
+TEST(OpTrace, DifferentPhasesNestIndependently) {
+  OpTrace::Begin();
+  {
+    TraceSpan exec(Phase::kShardExec);
+    TraceSpan wal(Phase::kWalFsync);
+    SleepMicros(1000);
+  }
+  OpTraceData trace = OpTrace::Finish();
+  EXPECT_EQ(trace.PhaseCount(Phase::kShardExec), 1u);
+  EXPECT_EQ(trace.PhaseCount(Phase::kWalFsync), 1u);
+}
+
+TEST(OpTrace, AccumulatorsWorkOutsideBrackets) {
+  // Legacy accessors (LockManager::ThreadWaitMicros delegation) rely on the
+  // accumulators being live without a Begin/Finish bracket.
+  OpTrace::ClearPhase(Phase::kLockWait);
+  OpTrace::AddPhase(Phase::kLockWait, 123);
+  EXPECT_EQ(OpTrace::PhaseUs(Phase::kLockWait), 123);
+  OpTrace::AddPhase(Phase::kLockWait, 7);
+  EXPECT_EQ(OpTrace::PhaseUs(Phase::kLockWait), 130);
+  OpTrace::ClearPhase(Phase::kLockWait);
+  EXPECT_EQ(OpTrace::PhaseUs(Phase::kLockWait), 0);
+}
+
+TEST(OpTrace, BeginZeroesLeftoverState) {
+  OpTrace::AddPhase(Phase::kRpc, 999);
+  OpTrace::Begin();
+  OpTraceData trace = OpTrace::Finish();
+  EXPECT_EQ(trace.PhaseUs(Phase::kRpc), 0);
+  EXPECT_EQ(trace.PhaseCount(Phase::kRpc), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PhaseBreakdown
+
+TEST(PhaseBreakdown, AddMergeShareAndPublish) {
+  OpTraceData op1;
+  op1.us[static_cast<size_t>(Phase::kLockWait)] = 80;
+  op1.count[static_cast<size_t>(Phase::kLockWait)] = 2;
+  op1.total_us = 100;
+
+  OpTraceData op2;
+  op2.us[static_cast<size_t>(Phase::kLockWait)] = 20;
+  op2.count[static_cast<size_t>(Phase::kLockWait)] = 1;
+  op2.total_us = 100;
+
+  PhaseBreakdown a;
+  a.Add(op1);
+  PhaseBreakdown b;
+  b.Add(op2);
+  a.Merge(b);
+
+  EXPECT_EQ(a.ops, 2u);
+  EXPECT_EQ(a.total_us, 200);
+  EXPECT_EQ(a.PhaseUs(Phase::kLockWait), 100);
+  EXPECT_DOUBLE_EQ(a.Share(Phase::kLockWait), 0.5);
+  EXPECT_DOUBLE_EQ(a.AvgPhaseUs(Phase::kLockWait), 50.0);
+  EXPECT_DOUBLE_EQ(a.AvgTotalUs(), 100.0);
+  EXPECT_DOUBLE_EQ(a.Share(Phase::kRenamer), 0.0);
+
+  MetricsRegistry registry;
+  a.PublishTo(registry, "test.create");
+  EXPECT_EQ(registry.GetCounter("trace.test.create.lock_wait.us")->value(),
+            100u);
+  EXPECT_EQ(registry.GetCounter("trace.test.create.lock_wait.count")->value(),
+            3u);
+  EXPECT_EQ(registry.GetCounter("trace.test.create.ops")->value(), 2u);
+  EXPECT_EQ(registry.GetGauge("trace.test.create.lock_share_pct")->value(),
+            50);
+}
+
+TEST(PhaseBreakdown, EmptyBreakdownIsSafe) {
+  PhaseBreakdown empty;
+  EXPECT_DOUBLE_EQ(empty.Share(Phase::kLockWait), 0.0);
+  EXPECT_DOUBLE_EQ(empty.AvgTotalUs(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.AvgPhaseUs(Phase::kResolve), 0.0);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/clock.h"
+#include "src/common/metrics.h"
 #include "src/net/simnet.h"
 
 namespace cfs {
@@ -110,6 +111,67 @@ TEST(SimNetTest, ResetStatsClearsCounters) {
   net.ResetStats();
   EXPECT_EQ(net.TotalCalls(), 0u);
   EXPECT_EQ(net.CallsTo(b), 0u);
+  EXPECT_EQ(net.CallsBetween(a, b), 0u);
+  EXPECT_EQ(net.TotalInjectedLatencyUs(), 0);
+  EXPECT_TRUE(net.EdgeStats().empty());
+}
+
+TEST(SimNetTest, EdgeStatsCountPerDirectedEdge) {
+  SimNet net;
+  NodeId a = net.AddNode("a", 0);
+  NodeId b = net.AddNode("b", 1);
+  NodeId c = net.AddNode("c", 2);
+  for (int i = 0; i < 3; i++) (void)net.BeginCall(a, b);
+  (void)net.BeginCall(b, a);
+  (void)net.BeginCall(a, c);
+
+  EXPECT_EQ(net.CallsBetween(a, b), 3u);
+  EXPECT_EQ(net.CallsBetween(b, a), 1u);  // edges are directed
+  EXPECT_EQ(net.CallsBetween(a, c), 1u);
+  EXPECT_EQ(net.CallsBetween(c, a), 0u);
+
+  auto edges = net.EdgeStats();
+  EXPECT_EQ(edges.size(), 3u);
+  const SimNet::EdgeStat& ab = edges[std::make_pair(a, b)];
+  EXPECT_EQ(ab.calls, 3u);
+  // Zero-latency mode injects nothing.
+  EXPECT_EQ(ab.injected_us, 0);
+  EXPECT_EQ(net.TotalInjectedLatencyUs(), 0);
+
+  // A failed delivery is not a completed round trip: no edge bump.
+  net.SetNodeDown(c, true);
+  (void)net.BeginCall(a, c);
+  EXPECT_EQ(net.CallsBetween(a, c), 1u);
+}
+
+TEST(SimNetTest, SleepModeAccumulatesInjectedLatency) {
+  NetOptions options;
+  options.mode = LatencyMode::kSleep;
+  options.cross_node_rtt_us = 1000;
+  options.jitter_pct = 0;
+  SimNet net(options);
+  NodeId a = net.AddNode("a", 0);
+  NodeId b = net.AddNode("b", 1);
+  OpTrace::ClearPhase(Phase::kRpc);
+  (void)net.BeginCall(a, b);
+  (void)net.BeginCall(a, b);
+  EXPECT_EQ(net.TotalInjectedLatencyUs(), 2000);
+  EXPECT_EQ(net.EdgeStats()[std::make_pair(a, b)].injected_us, 2000);
+  // Each hop also stamps the calling thread's trace.
+  EXPECT_EQ(OpTrace::PhaseUs(Phase::kRpc), 2000);
+  EXPECT_EQ(OpTrace::PhaseCount(Phase::kRpc), 2u);
+  OpTrace::ClearPhase(Phase::kRpc);
+}
+
+TEST(SimNetTest, RegistersMetricsProbe) {
+  SimNet net;
+  NodeId a = net.AddNode("alpha", 0);
+  NodeId b = net.AddNode("beta", 1);
+  (void)net.BeginCall(a, b);
+  std::string json = MetricsRegistry::Global().DumpJson();
+  // The probe exposes total and per-edge samples named by node.
+  EXPECT_NE(json.find("\"calls.alpha->beta\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total_calls\":1"), std::string::npos) << json;
 }
 
 TEST(SimNetTest, NamesAndServers) {
