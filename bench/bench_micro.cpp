@@ -5,10 +5,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
 #include "src/common/crc32.h"
 #include "src/common/encoding.h"
 #include "src/common/histogram.h"
 #include "src/common/random.h"
+#include "src/core/dentry_cache.h"
 #include "src/core/metadata_client.h"
 #include "src/kv/kvstore.h"
 #include "src/raft/raft.h"
@@ -185,6 +192,78 @@ void BM_RaftProposeCommit(benchmark::State& state) {
   group.Stop();
 }
 BENCHMARK(BM_RaftProposeCommit)->Unit(benchmark::kMicrosecond);
+
+// --- dentry cache: sharded lookups vs. the old process-wide mutex map ---
+//
+// The resolve hot path used to take one engine-global std::mutex around a
+// std::map for every cached component. Run these two at ->Threads(8) to see
+// the difference: the sharded cache scales with threads, the mutex map
+// serializes them.
+
+constexpr int kCachePaths = 1024;
+
+std::string CachePath(uint64_t i) { return "/dir/file" + std::to_string(i); }
+
+class DentryCacheBench : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    if (state.thread_index() == 0) {
+      DentryCache::Options options;
+      options.capacity = 1 << 16;
+      options.shards = 16;
+      cache_ = std::make_unique<DentryCache>(options);
+      cache_->ObserveDirEpoch(1, 1);
+      for (int i = 0; i < kCachePaths; i++) {
+        cache_->PutPositive(CachePath(i), 1, 100 + i, InodeType::kFile);
+      }
+    }
+  }
+  void TearDown(const benchmark::State& state) override {
+    if (state.thread_index() == 0) cache_.reset();
+  }
+
+ protected:
+  std::unique_ptr<DentryCache> cache_;
+};
+
+BENCHMARK_DEFINE_F(DentryCacheBench, ShardedLookup)(benchmark::State& state) {
+  Rng rng(7 + static_cast<uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache_->Lookup(CachePath(rng.Uniform(kCachePaths)), 1));
+  }
+}
+BENCHMARK_REGISTER_F(DentryCacheBench, ShardedLookup)->Threads(1)->Threads(8);
+
+class MutexMapCacheBench : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    if (state.thread_index() == 0) {
+      map_.clear();
+      for (int i = 0; i < kCachePaths; i++) {
+        map_[CachePath(i)] = {100 + i, InodeType::kFile};
+      }
+    }
+  }
+
+ protected:
+  std::mutex mu_;
+  std::map<std::string, std::pair<InodeId, InodeType>> map_;
+};
+
+BENCHMARK_DEFINE_F(MutexMapCacheBench, GlobalLockLookup)
+(benchmark::State& state) {
+  Rng rng(7 + static_cast<uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    std::string path = CachePath(rng.Uniform(kCachePaths));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(path);
+    benchmark::DoNotOptimize(it);
+  }
+}
+BENCHMARK_REGISTER_F(MutexMapCacheBench, GlobalLockLookup)
+    ->Threads(1)
+    ->Threads(8);
 
 void BM_PathSplit(benchmark::State& state) {
   std::string path = "/a/bb/ccc/dddd/eeeee/file.txt";

@@ -1,29 +1,35 @@
 #!/usr/bin/env bash
-# Full check: regular build + complete test suite, then a ThreadSanitizer
-# build running the concurrency-heavy tests (metrics registry, SimNet edge
-# tables, lock manager, workload harness — the code most exposed to the
-# multi-threaded client loops).
+# Full check: regular build + complete test suite, a docs-consistency lint,
+# then a ThreadSanitizer build running the concurrency-heavy tests (metrics
+# registry, SimNet edge tables, lock manager, workload harness, the sharded
+# dentry cache, and the cross-engine cache-coherence tests — the code most
+# exposed to the multi-threaded client loops).
 #
 # Usage: scripts/check.sh [--tsan-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TSAN_TESTS=(metrics_test simnet_test lock_manager_test common_test
-            workload_test)
+            workload_test dentry_cache_test)
 
 if [[ "${1:-}" != "--tsan-only" ]]; then
   echo "== regular build + full test suite =="
   cmake -B build -S . >/dev/null
   cmake --build build -j
   ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+  echo "== docs lint =="
+  scripts/docs_lint.sh
 fi
 
 echo "== ThreadSanitizer build + concurrency tests =="
 cmake -B build-tsan -S . -DCFS_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target "${TSAN_TESTS[@]}"
+cmake --build build-tsan -j --target "${TSAN_TESTS[@]}" cfs_core_test
 for t in "${TSAN_TESTS[@]}"; do
   echo "-- $t (tsan)"
   ./build-tsan/tests/"$t"
 done
+echo "-- cfs_core_test coherence suite (tsan)"
+./build-tsan/tests/cfs_core_test --gtest_filter='*Coherence*'
 
 echo "== all checks passed =="

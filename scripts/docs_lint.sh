@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Docs-consistency lint: every tuning knob in CfsOptions (src/core/cfs.h)
+# must appear in README.md's configuration table, so the shipped docs can't
+# silently drift from the code. Fails listing the missing fields.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Collect CfsOptions field names: lines like "  <type> <name> = ...;" or
+# "  <type> <name>;" inside the struct, skipping comments and nested-option
+# struct members (TafDbOptions etc. are documented by their own headers, but
+# the fields themselves still appear as knobs and belong in the table).
+fields=$(awk '/^struct CfsOptions \{/,/^\};/' src/core/cfs.h |
+  grep -E '^\s+[A-Za-z_][A-Za-z0-9_:<>]*\s+[a-z_]+(\s*=.*)?;\s*(//.*)?$' |
+  grep -v '^\s*//' |
+  sed -E 's/^\s*[A-Za-z_][A-Za-z0-9_:<>]*\s+([a-z_]+).*/\1/')
+
+if [[ -z "$fields" ]]; then
+  echo "docs_lint: failed to extract CfsOptions fields from src/core/cfs.h" >&2
+  exit 1
+fi
+
+missing=0
+for field in $fields; do
+  if ! grep -q "\`$field\`" README.md; then
+    echo "docs_lint: CfsOptions::$field is not documented in README.md" >&2
+    missing=1
+  fi
+done
+
+if [[ "$missing" -ne 0 ]]; then
+  echo "docs_lint: add the missing knob(s) to README.md's CfsOptions table" >&2
+  exit 1
+fi
+echo "docs_lint: README.md covers all $(echo "$fields" | wc -l) CfsOptions knobs"

@@ -241,6 +241,8 @@ std::string_view PhaseName(Phase phase) {
       return "raft_append";
     case Phase::kRenamer:
       return "renamer";
+    case Phase::kResolveCached:
+      return "resolve_cached";
     case Phase::kRpc:
       return "rpc";
   }

@@ -156,6 +156,7 @@ enum class Phase : uint8_t {
   kWalFsync,        // WAL flush delay (leader thread)
   kRaftAppend,      // raft proposal: replication wait (nested in kShardExec)
   kRenamer,         // normal-path rename coordination
+  kResolveCached,   // dentry-cache consult + epoch validation (in kResolve)
   kRpc,             // injected network round-trip latency (SimNet)
 };
 inline constexpr size_t kNumPhases = static_cast<size_t>(Phase::kRpc) + 1;

@@ -130,6 +130,8 @@ Cfs::Cfs(CfsOptions options) : options_(std::move(options)), net_(options_.net) 
   renamer_ = std::make_unique<Renamer>(
       &net_, renamer_servers, tafdb_.get(),
       options_.tiered_attrs ? filestore_.get() : nullptr, renamer_options);
+  renamer_->set_invalidation_broadcast(
+      [this](const CacheInvalidation& inv) { BroadcastInvalidation(inv); });
   gc_ = std::make_unique<GarbageCollector>(this);
 
   if (!options_.client_resolving) {
@@ -166,6 +168,46 @@ void Cfs::Stop() {
   renamer_->Stop();
   filestore_->Stop();
   tafdb_->Stop();
+}
+
+void Cfs::RegisterEngine(CfsEngine* engine) {
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  engines_.push_back(engine);
+}
+
+void Cfs::UnregisterEngine(CfsEngine* engine) {
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  for (auto it = engines_.begin(); it != engines_.end(); ++it) {
+    if (*it == engine) {
+      engines_.erase(it);
+      return;
+    }
+  }
+}
+
+void Cfs::BroadcastInvalidation(const CacheInvalidation& inv) {
+  // Snapshot the registry so ApplyInvalidation runs outside engines_mu_
+  // (registration from concurrent NewClient must not deadlock against a
+  // rename in flight). Engines unregister in their destructor, and clients
+  // never race their own destruction with an operation, so the snapshot
+  // stays valid for the duration of the fan-out.
+  std::vector<CfsEngine*> engines;
+  {
+    std::lock_guard<std::mutex> lock(engines_mu_);
+    engines = engines_;
+  }
+  if (engines.empty()) return;
+  std::vector<NodeId> dests;
+  dests.reserve(engines.size());
+  for (CfsEngine* engine : engines) dests.push_back(engine->self());
+  net_.Multicast(renamer_->CoordinatorNetId(), dests, [&](NodeId dest) {
+    for (CfsEngine* engine : engines) {
+      if (engine->self() == dest) {
+        engine->ApplyInvalidation(inv);
+        break;
+      }
+    }
+  });
 }
 
 std::unique_ptr<MetadataClient> Cfs::NewClient() {

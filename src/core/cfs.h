@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/dentry_cache.h"
 #include "src/core/metadata_client.h"
 #include "src/filestore/filestore.h"
 #include "src/net/simnet.h"
@@ -46,6 +47,17 @@ struct CfsOptions {
 
   size_t num_servers = 8;   // physical servers (metadata+data co-deployed)
   size_t num_proxies = 4;   // only used when !client_resolving
+
+  // Client dentry cache (per engine; see src/core/dentry_cache.h). The
+  // capacity bounds positive+negative entries; 0 disables caching. The
+  // negative TTL bounds how long a cached ENOENT can mask a concurrent
+  // create (<= 0 disables negative caching); the epoch TTL bounds how long
+  // a directory's epoch view is trusted before a cache hit forces one
+  // revalidation RPC (<= 0 revalidates every hit).
+  size_t dentry_cache_capacity = 65536;
+  size_t dentry_cache_shards = 16;
+  int64_t dentry_negative_ttl_ms = 1000;
+  int64_t dentry_epoch_ttl_ms = 2000;
 
   TafDbOptions tafdb;
   FileStoreOptions filestore;
@@ -94,6 +106,15 @@ class Cfs {
   size_t num_proxies() const { return proxy_engines_.size(); }
   NodeId proxy_net_id(size_t i) const { return proxy_nodes_[i]; }
 
+  // Engine registry for cache-invalidation broadcast. Engines register in
+  // their constructor and unregister in their destructor, so every engine
+  // must be destroyed before its Cfs (all current call sites already do).
+  void RegisterEngine(CfsEngine* engine);
+  void UnregisterEngine(CfsEngine* engine);
+  // Delivers `inv` to every registered engine as one SimNet multicast from
+  // the Renamer coordinator (synchronous, on the renaming caller's thread).
+  void BroadcastInvalidation(const CacheInvalidation& inv);
+
  private:
   CfsOptions options_;
   SimNet net_;
@@ -101,6 +122,8 @@ class Cfs {
   std::unique_ptr<FileStoreCluster> filestore_;
   std::unique_ptr<Renamer> renamer_;
   std::unique_ptr<GarbageCollector> gc_;
+  std::mutex engines_mu_;
+  std::vector<CfsEngine*> engines_;
   std::vector<NodeId> proxy_nodes_;
   std::vector<std::unique_ptr<CfsEngine>> proxy_engines_;
   std::atomic<size_t> next_proxy_{0};
@@ -114,6 +137,7 @@ class Cfs {
 class CfsEngine : public MetadataClient {
  public:
   CfsEngine(Cfs* fs, NodeId self);
+  ~CfsEngine() override;
 
   Status Mkdir(const std::string& path, uint32_t mode) override;
   Status Rmdir(const std::string& path) override;
@@ -135,7 +159,13 @@ class CfsEngine : public MetadataClient {
                              size_t length) override;
 
   NodeId self() const { return self_; }
+  // Drops `path` and every cached descendant (a directory rename moves the
+  // whole subtree, so exact-path invalidation is not enough).
   void InvalidateCache(const std::string& path);
+  // Applies a Renamer post-commit broadcast: drops the moved paths (subtrees
+  // for directory moves) and adopts both parents' freshly bumped epochs.
+  void ApplyInvalidation(const CacheInvalidation& inv);
+  const DentryCache& dentry_cache() const { return cache_; }
 
  private:
   struct Resolved {
@@ -179,17 +209,25 @@ class CfsEngine : public MetadataClient {
   InodeId AllocId();
   TxnId NextTxn();
 
-  // Dentry cache (client-side metadata resolving).
-  void CachePut(const std::string& path, InodeId id, InodeType type);
-  bool CacheGet(const std::string& path, InodeId* id, InodeType* type);
+  // Dentry cache (client-side metadata resolving; src/core/dentry_cache.h).
+  // Consults the cache under a kResolveCached trace span; a
+  // kNeedsValidation outcome triggers one DirEpoch RPC and a retry.
+  DentryCache::LookupResult CacheLookup(const std::string& path,
+                                        InodeId parent);
+  void CachePut(const std::string& path, InodeId parent, InodeId id,
+                InodeType type);
+  void CacheNegative(const std::string& path, InodeId parent);
   void CacheErase(const std::string& path);
+  // Bumps `dir`'s mutation epoch on its TafDB shard after a local mutation
+  // and adopts the new value (piggybacked on the mutation round — no extra
+  // RPC is charged).
+  void BumpDirEpoch(InodeId dir);
 
   Cfs* fs_;
   NodeId self_;
   TimestampCache ts_cache_;
   TimestampCache id_cache_;
-  std::mutex cache_mu_;
-  std::map<std::string, std::pair<InodeId, InodeType>> dentry_cache_;
+  DentryCache cache_;
   std::atomic<TxnId> txn_seq_{1};
 };
 

@@ -41,13 +41,27 @@ Predicate ParentIsDir(InodeId parent) {
   return p;
 }
 
+DentryCache::Options CacheOptionsFrom(const CfsOptions& options) {
+  DentryCache::Options o;
+  o.capacity = options.dentry_cache_capacity;
+  o.shards = options.dentry_cache_shards;
+  o.negative_ttl_ms = options.dentry_negative_ttl_ms;
+  o.epoch_ttl_ms = options.dentry_epoch_ttl_ms;
+  return o;
+}
+
 }  // namespace
 
 CfsEngine::CfsEngine(Cfs* fs, NodeId self)
     : fs_(fs),
       self_(self),
       ts_cache_(fs->net(), self, fs->tafdb()->ts_oracle(), 512),
-      id_cache_(fs->net(), self, fs->tafdb()->id_allocator(), 128) {}
+      id_cache_(fs->net(), self, fs->tafdb()->id_allocator(), 128),
+      cache_(CacheOptionsFrom(fs->options())) {
+  fs_->RegisterEngine(this);
+}
+
+CfsEngine::~CfsEngine() { fs_->UnregisterEngine(this); }
 
 uint64_t CfsEngine::NowTs() { return ts_cache_.Next(); }
 InodeId CfsEngine::AllocId() { return id_cache_.Next(); }
@@ -59,27 +73,78 @@ TxnId CfsEngine::NextTxn() {
 // ---------------------------------------------------------------------------
 // Dentry cache
 
-void CfsEngine::CachePut(const std::string& path, InodeId id, InodeType type) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  dentry_cache_[path] = {id, type};
+DentryCache::LookupResult CfsEngine::CacheLookup(const std::string& path,
+                                                 InodeId parent) {
+  TraceSpan span(Phase::kResolveCached);
+  DentryCache::LookupResult result = cache_.Lookup(path, parent);
+  if (result.outcome != DentryCache::Outcome::kNeedsValidation) return result;
+  // The epoch view aged past dentry_epoch_ttl_ms: refresh it with one cheap
+  // shard read, then retry. ObserveDirEpoch stamps the view even when the
+  // epoch is unchanged, so the retry cannot loop back here.
+  TafDbShard* shard = fs_->tafdb()->ShardFor(parent);
+  uint64_t epoch = 0;
+  bool fetched = false;
+  (void)fs_->net()->Call(self_, shard->ServiceNetId(), [&]() -> Status {
+    epoch = shard->DirEpoch(parent);
+    fetched = true;
+    return Status::Ok();
+  });
+  if (fetched) cache_.ObserveDirEpoch(parent, epoch);
+  result = cache_.Lookup(path, parent);
+  if (result.outcome == DentryCache::Outcome::kNeedsValidation) {
+    // The shard was unreachable; treat as a miss and resolve normally.
+    result = DentryCache::LookupResult();
+  }
+  return result;
 }
 
-bool CfsEngine::CacheGet(const std::string& path, InodeId* id,
-                         InodeType* type) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  auto it = dentry_cache_.find(path);
-  if (it == dentry_cache_.end()) return false;
-  *id = it->second.first;
-  *type = it->second.second;
-  return true;
+void CfsEngine::CachePut(const std::string& path, InodeId parent, InodeId id,
+                         InodeType type) {
+  cache_.PutPositive(path, parent, id, type);
 }
 
-void CfsEngine::CacheErase(const std::string& path) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  dentry_cache_.erase(path);
+void CfsEngine::CacheNegative(const std::string& path, InodeId parent) {
+  cache_.PutNegative(path, parent);
 }
 
-void CfsEngine::InvalidateCache(const std::string& path) { CacheErase(path); }
+void CfsEngine::CacheErase(const std::string& path) { cache_.Erase(path); }
+
+void CfsEngine::BumpDirEpoch(InodeId dir) {
+  // Runs on the shard the mutation just committed to; the bump rides the
+  // same round, so no extra RPC is charged. Adopting the returned value
+  // keeps our own cached entries under `dir` valid (their tags are updated
+  // on the next fill; existing tags now mismatch, which is exactly right —
+  // we just changed the directory).
+  uint64_t epoch = fs_->tafdb()->ShardFor(dir)->BumpDirEpoch(dir);
+  cache_.ObserveDirEpoch(dir, epoch);
+}
+
+void CfsEngine::InvalidateCache(const std::string& path) {
+  cache_.ErasePrefix(path);
+}
+
+void CfsEngine::ApplyInvalidation(const CacheInvalidation& inv) {
+  if (!inv.src_path.empty()) {
+    if (inv.subtree) {
+      cache_.ErasePrefix(inv.src_path);
+    } else {
+      cache_.Erase(inv.src_path);
+    }
+  }
+  if (!inv.dst_path.empty() && inv.dst_path != inv.src_path) {
+    if (inv.subtree) {
+      cache_.ErasePrefix(inv.dst_path);
+    } else {
+      cache_.Erase(inv.dst_path);
+    }
+  }
+  if (inv.src_parent != kInvalidInode) {
+    cache_.ObserveDirEpoch(inv.src_parent, inv.src_parent_epoch);
+  }
+  if (inv.dst_parent != kInvalidInode) {
+    cache_.ObserveDirEpoch(inv.dst_parent, inv.dst_parent_epoch);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Resolution
@@ -87,9 +152,19 @@ void CfsEngine::InvalidateCache(const std::string& path) { CacheErase(path); }
 StatusOr<InodeRecord> CfsEngine::ReadEntry(InodeId parent,
                                            const std::string& name) {
   TafDbShard* shard = fs_->tafdb()->ShardFor(parent);
-  return fs_->net()->Call(self_, shard->ServiceNetId(), [&] {
+  uint64_t epoch = 0;
+  bool fetched = false;
+  auto rec = fs_->net()->Call(self_, shard->ServiceNetId(), [&] {
+    // Piggyback the parent's mutation epoch on the entry read (same shard,
+    // same round trip). Epoch before entry: the tag can only be older than
+    // the content, so a concurrent bump makes the fill conservatively
+    // stale rather than wrongly fresh.
+    epoch = shard->DirEpoch(parent);
+    fetched = true;
     return shard->Get(InodeKey::IdRecord(parent, name));
   });
+  if (fetched) cache_.ObserveDirEpoch(parent, epoch);
+  return rec;
 }
 
 StatusOr<InodeRecord> CfsEngine::ReadTafAttr(InodeId id) {
@@ -160,17 +235,28 @@ StatusOr<CfsEngine::Resolved> CfsEngine::Resolve(const std::string& path,
   auto parent = ResolveParent(path);
   if (!parent.ok()) return parent.status();
   Resolved out = std::move(parent).value();
-  if (!bypass_final_cache && CacheGet(path, &out.id, &out.type)) {
-    return out;
+  if (!bypass_final_cache) {
+    DentryCache::LookupResult hit = CacheLookup(path, out.parent);
+    if (hit.outcome == DentryCache::Outcome::kHit) {
+      out.id = hit.id;
+      out.type = hit.type;
+      return out;
+    }
+    if (hit.outcome == DentryCache::Outcome::kNegativeHit) {
+      return Status::NotFound(path);
+    }
   }
   auto entry = ReadEntry(out.parent, out.name);
   if (!entry.ok()) {
-    if (entry.status().IsNotFound()) CacheErase(path);
+    // ReadEntry just observed the parent's epoch, so the negative entry is
+    // tagged fresh: a cached ENOENT until the TTL runs out or the epoch
+    // moves.
+    if (entry.status().IsNotFound()) CacheNegative(path, out.parent);
     return entry.status();
   }
   out.id = entry->id;
   out.type = entry->type;
-  CachePut(path, out.id, out.type);
+  CachePut(path, out.parent, out.id, out.type);
   return out;
 }
 
@@ -290,7 +376,7 @@ Status CfsEngine::CreateCommon(const std::string& path, uint32_t mode,
       if (result.status.IsNotFound()) CacheErase(path);
       return result.status;
     }
-    CachePut(path, id, type);
+    CachePut(path, parent->parent, id, type);
     return Status::Ok();
   }
 
@@ -367,7 +453,7 @@ Status CfsEngine::CreateCommon(const std::string& path, uint32_t mode,
   }
   unlock();
   if (commit_st.ok()) {
-    CachePut(path, id, type);
+    CachePut(path, parent->parent, id, type);
   }
   return commit_st;
 }
@@ -416,7 +502,7 @@ Status CfsEngine::Mkdir(const std::string& path, uint32_t mode) {
       if (r2.status.IsNotFound()) CacheErase(path);
       return r2.status;
     }
-    CachePut(path, id, InodeType::kDirectory);
+    CachePut(path, parent->parent, id, InodeType::kDirectory);
     return Status::Ok();
   }
 
@@ -467,7 +553,7 @@ Status CfsEngine::Mkdir(const std::string& path, uint32_t mode) {
   Status commit_st = CommitWriteSets(std::move(ops), txn);
   unlock();
   if (commit_st.ok()) {
-    CachePut(path, id, InodeType::kDirectory);
+    CachePut(path, parent->parent, id, InodeType::kDirectory);
   }
   return commit_st;
 }
@@ -521,6 +607,7 @@ Status CfsEngine::Rmdir(const std::string& path) {
     auto op = PrimitiveOp::DeleteWithUpdate(del_entry, dec);
     PrimitiveResult r2 = ExecOnShard(resolved->parent, op);
     CacheErase(path);
+    if (r2.status.ok()) BumpDirEpoch(resolved->parent);
     if (!r2.status.ok() && !r1.deleted_records.empty()) {
       // The dentry moved under us (a concurrent rename won): the directory
       // is alive somewhere else, so restore the exact attribute image step
@@ -633,6 +720,7 @@ Status CfsEngine::Rmdir(const std::string& path) {
   Status commit_st = CommitWriteSets(std::move(ops), txn);
   unlock_all();
   CacheErase(path);
+  if (commit_st.ok()) BumpDirEpoch(resolved->parent);
   return commit_st;
 }
 
@@ -667,6 +755,7 @@ Status CfsEngine::Unlink(const std::string& path) {
     PrimitiveResult result = ExecOnShard(resolved->parent, op);
     CacheErase(path);
     if (!result.status.ok()) return result.status;
+    BumpDirEpoch(resolved->parent);
     DeleteFileAttrAsync(resolved->id);
     return Status::Ok();
   }
@@ -748,6 +837,7 @@ Status CfsEngine::Unlink(const std::string& path) {
   }
   unlock();
   CacheErase(path);
+  if (commit_st.ok()) BumpDirEpoch(resolved->parent);
   return commit_st;
 }
 
@@ -764,10 +854,10 @@ StatusOr<FileInfo> CfsEngine::Lookup(const std::string& path) {
   if (!parent.ok()) return parent.status();
   auto entry = ReadEntry(parent->parent, parent->name);
   if (!entry.ok()) {
-    if (entry.status().IsNotFound()) CacheErase(path);
+    if (entry.status().IsNotFound()) CacheNegative(path, parent->parent);
     return entry.status();
   }
-  CachePut(path, entry->id, entry->type);
+  CachePut(path, parent->parent, entry->id, entry->type);
   FileInfo info;
   info.id = entry->id;
   info.type = entry->type;
@@ -815,7 +905,13 @@ Status CfsEngine::SetAttr(const std::string& path, const SetAttrSpec& spec) {
   if (fs_->options().primitives) {
     PrimitiveOp op;
     op.updates.push_back(update);
-    return ExecOnShard(resolved->id, op).status;
+    Status st = ExecOnShard(resolved->id, op).status;
+    if (st.ok() && resolved->type == InodeType::kDirectory) {
+      // Directory attributes are cached context for resolves under it;
+      // publish the change so other engines revalidate.
+      BumpDirEpoch(resolved->id);
+    }
+    return st;
   }
 
   // Conventional path: lock, read, write image.
@@ -842,6 +938,9 @@ Status CfsEngine::SetAttr(const std::string& path, const SetAttrSpec& spec) {
     shard->locks()->UnlockAll(txn);
     return Status::Ok();
   });
+  if (commit_st.ok() && resolved->type == InodeType::kDirectory) {
+    BumpDirEpoch(resolved->id);
+  }
   return commit_st;
 }
 
@@ -916,6 +1015,9 @@ Status CfsEngine::Rename(const std::string& from, const std::string& to) {
     CacheErase(from);
     CacheErase(to);
     if (!result.status.ok()) return result.status;
+    // Intra-directory: one parent, one epoch bump. Other engines' cached
+    // entries for `from`/`to` go stale on their next epoch refresh.
+    BumpDirEpoch(src->parent);
     if (replaced != kInvalidInode && result.deleted == 2) {
       DeleteFileAttrAsync(replaced);
     }
@@ -929,9 +1031,14 @@ Status CfsEngine::Rename(const std::string& from, const std::string& to) {
   req.src_name = src->name;
   req.dst_parent = dst_parent->parent;
   req.dst_name = dst_parent->name;
+  req.src_path = from;
+  req.dst_path = to;
   Renamer* renamer = fs_->renamer();
   Status st = fs_->net()->Call(self_, renamer->CoordinatorNetId(),
                                [&] { return renamer->Rename(req); });
+  // The Renamer's post-commit broadcast already invalidated every engine
+  // (including this one, subtree-wide for directory moves); these local
+  // erases only cover the failure paths where no broadcast was sent.
   CacheErase(from);
   CacheErase(to);
   return st;
@@ -995,7 +1102,7 @@ Status CfsEngine::Link(const std::string& existing,
     }
     return result.status;
   }
-  CachePut(link_path, src->id, src->type);
+  CachePut(link_path, parent->parent, src->id, src->type);
   return Status::Ok();
 }
 

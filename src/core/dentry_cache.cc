@@ -1,0 +1,280 @@
+#include "src/core/dentry_cache.h"
+
+#include <functional>
+
+#include "src/common/metrics.h"
+
+namespace cfs {
+namespace {
+
+// Cluster-wide cache counters (all engines fold in). Pointers are stable
+// for the process lifetime; resolve once.
+struct GlobalCounters {
+  Counter* hit;
+  Counter* miss;
+  Counter* negative_hit;
+  Counter* stale;
+  Counter* evict;
+  Counter* prefix_drop;
+  Counter* revalidate;
+};
+
+const GlobalCounters& Counters() {
+  static const GlobalCounters counters = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    return GlobalCounters{
+        registry.GetCounter("dentry_cache.hit"),
+        registry.GetCounter("dentry_cache.miss"),
+        registry.GetCounter("dentry_cache.negative_hit"),
+        registry.GetCounter("dentry_cache.stale"),
+        registry.GetCounter("dentry_cache.evict"),
+        registry.GetCounter("dentry_cache.prefix_drop"),
+        registry.GetCounter("dentry_cache.revalidate"),
+    };
+  }();
+  return counters;
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+DentryCache::DentryCache(Options options, const Clock* clock)
+    : options_(options), clock_(clock) {
+  size_t shards = RoundUpPow2(options_.shards == 0 ? 1 : options_.shards);
+  // Never spread the budget so thin that shards round down to nothing.
+  while (shards > 1 && options_.capacity > 0 && options_.capacity / shards == 0) {
+    shards >>= 1;
+  }
+  shard_mask_ = shards - 1;
+  per_shard_capacity_ = options_.capacity / shards;
+  entry_shards_ = std::vector<EntryShard>(shards);
+  epoch_shards_ = std::vector<EpochShard>(shards);
+}
+
+DentryCache::EntryShard& DentryCache::ShardFor(const std::string& path) {
+  return entry_shards_[std::hash<std::string>{}(path) & shard_mask_];
+}
+
+DentryCache::EpochShard& DentryCache::EpochShardFor(InodeId dir) const {
+  // Mix: sequential inode ids must not all land on one shard.
+  uint64_t h = dir * 0x9e3779b97f4a7c15ULL;
+  return epoch_shards_[(h >> 32) & shard_mask_];
+}
+
+bool DentryCache::ViewOf(InodeId dir, EpochView* out) const {
+  EpochShard& shard = EpochShardFor(dir);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.views.find(dir);
+  if (it == shard.views.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void DentryCache::ObserveDirEpoch(InodeId dir, uint64_t epoch) {
+  if (options_.capacity == 0) return;
+  int64_t now_us = clock_->NowMicros();
+  EpochShard& shard = EpochShardFor(dir);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  EpochView& view = shard.views[dir];
+  // A lower epoch is a reordered observation — keep the newer view but
+  // still refresh the timestamp (the shard was reachable just now). The
+  // exception is a reset to 0 (shard restart): adopt it, so tagged entries
+  // mismatch and conservatively revalidate.
+  if (epoch >= view.epoch || epoch == 0) {
+    view.epoch = epoch;
+  }
+  view.observed_us = now_us;
+}
+
+uint64_t DentryCache::ObservedDirEpoch(InodeId dir) const {
+  EpochView view;
+  return ViewOf(dir, &view) ? view.epoch : 0;
+}
+
+DentryCache::LookupResult DentryCache::Lookup(const std::string& path,
+                                              InodeId parent) {
+  LookupResult result;
+  if (options_.capacity == 0) {
+    return result;  // disabled: always a miss, and skip the counters
+  }
+  EpochView view;
+  bool has_view = ViewOf(parent, &view);
+  int64_t now_us = clock_->NowMicros();
+
+  EntryShard& shard = ShardFor(path);
+  bool stale = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(path);
+    if (it != shard.index.end()) {
+      const Entry& entry = it->second->second;
+      if (entry.parent != parent || !has_view || entry.epoch != view.epoch ||
+          (entry.negative && now_us >= entry.negative_expire_us)) {
+        // Re-parented, never-validated, epoch-mismatched, or an expired
+        // ENOENT: drop it and miss.
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+        stale = true;
+      } else if (options_.epoch_ttl_ms <= 0 ||
+                 now_us - view.observed_us > options_.epoch_ttl_ms * 1000) {
+        // The entry agrees with our view, but the view itself has aged
+        // out: ask the caller to refresh the epoch first.
+        result.outcome = Outcome::kNeedsValidation;
+      } else {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        result.outcome =
+            entry.negative ? Outcome::kNegativeHit : Outcome::kHit;
+        result.id = entry.id;
+        result.type = entry.type;
+      }
+    }
+  }
+
+  switch (result.outcome) {
+    case Outcome::kHit:
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      Counters().hit->Add();
+      break;
+    case Outcome::kNegativeHit:
+      stats_.negative_hits.fetch_add(1, std::memory_order_relaxed);
+      Counters().negative_hit->Add();
+      break;
+    case Outcome::kNeedsValidation:
+      stats_.revalidations.fetch_add(1, std::memory_order_relaxed);
+      Counters().revalidate->Add();
+      break;
+    case Outcome::kMiss:
+      stats_.misses.fetch_add(1, std::memory_order_relaxed);
+      Counters().miss->Add();
+      if (stale) {
+        stats_.stale_drops.fetch_add(1, std::memory_order_relaxed);
+        Counters().stale->Add();
+      }
+      break;
+  }
+  return result;
+}
+
+void DentryCache::PutEntry(const std::string& path, Entry entry) {
+  if (options_.capacity == 0) return;
+  bool evicted = false;
+  EntryShard& shard = ShardFor(path);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(path);
+    if (it != shard.index.end()) {
+      it->second->second = entry;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.lru.size() >= per_shard_capacity_ && !shard.lru.empty()) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      evicted = true;
+    }
+    shard.lru.emplace_front(path, entry);
+    shard.index.emplace(path, shard.lru.begin());
+  }
+  if (evicted) {
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    Counters().evict->Add();
+  }
+}
+
+void DentryCache::PutPositive(const std::string& path, InodeId parent,
+                              InodeId id, InodeType type) {
+  Entry entry;
+  entry.parent = parent;
+  entry.id = id;
+  entry.type = type;
+  entry.epoch = ObservedDirEpoch(parent);
+  PutEntry(path, entry);
+}
+
+void DentryCache::PutNegative(const std::string& path, InodeId parent) {
+  if (options_.negative_ttl_ms <= 0) {
+    // Negative caching disabled — but the ENOENT we just observed proves
+    // any cached positive entry for this path is wrong.
+    Erase(path);
+    return;
+  }
+  Entry entry;
+  entry.parent = parent;
+  entry.negative = true;
+  entry.epoch = ObservedDirEpoch(parent);
+  entry.negative_expire_us =
+      clock_->NowMicros() + options_.negative_ttl_ms * 1000;
+  PutEntry(path, entry);
+}
+
+void DentryCache::Erase(const std::string& path) {
+  EntryShard& shard = ShardFor(path);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(path);
+  if (it == shard.index.end()) return;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
+void DentryCache::ErasePrefix(const std::string& path) {
+  Erase(path);
+  std::string prefix = path;
+  if (prefix.empty() || prefix.back() != '/') prefix.push_back('/');
+  uint64_t dropped = 0;
+  for (EntryShard& shard : entry_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.index.begin(); it != shard.index.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        shard.lru.erase(it->second);
+        it = shard.index.erase(it);
+        dropped++;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (dropped > 0) {
+    stats_.prefix_drops.fetch_add(dropped, std::memory_order_relaxed);
+    Counters().prefix_drop->Add(dropped);
+  }
+}
+
+void DentryCache::Clear() {
+  for (EntryShard& shard : entry_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+  for (EpochShard& shard : epoch_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.views.clear();
+  }
+}
+
+size_t DentryCache::size() const {
+  size_t total = 0;
+  for (const EntryShard& shard : entry_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+DentryCache::Stats DentryCache::stats() const {
+  Stats out;
+  out.hits = stats_.hits.load(std::memory_order_relaxed);
+  out.misses = stats_.misses.load(std::memory_order_relaxed);
+  out.negative_hits = stats_.negative_hits.load(std::memory_order_relaxed);
+  out.stale_drops = stats_.stale_drops.load(std::memory_order_relaxed);
+  out.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  out.prefix_drops = stats_.prefix_drops.load(std::memory_order_relaxed);
+  out.revalidations = stats_.revalidations.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace cfs

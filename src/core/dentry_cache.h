@@ -1,0 +1,175 @@
+// DentryCache — the client-side dentry cache behind CFS's metadata
+// resolving (paper §3.1), replacing the placeholder per-engine map.
+//
+// Design (see DESIGN.md "Client cache & coherence"):
+//   - Sharded bounded LRU: entries hash by full path onto N shards, each
+//     with its own mutex and LRU list, so concurrent resolves on one engine
+//     never serialize on a process-wide lock.
+//   - Positive AND negative entries: a cached ENOENT short-circuits repeat
+//     lookups of missing names; negative entries expire after a TTL, which
+//     bounds how long a create by another client can stay invisible.
+//   - Per-entry epoch tags: every entry records the parent directory's
+//     mutation epoch (a counter kept on the directory's TafDB shard,
+//     TafDbShard::DirEpoch) observed when it was filled. A lookup is a hit
+//     only if the tag matches the engine's current view of that epoch — a
+//     directory mutation anywhere in the cluster bumps the epoch, so stale
+//     dentries are detected on first touch after the view refreshes.
+//   - Epoch views age: a view older than epoch_ttl_ms yields
+//     kNeedsValidation, telling the engine to refresh the epoch with one
+//     cheap RPC before trusting the hit. The TTL is therefore the staleness
+//     bound for mutations that are not broadcast (see below).
+//   - Eager prefix invalidation: directory renames drop whole cached
+//     subtrees via ErasePrefix (driven by the Renamer's cluster-wide
+//     broadcast), so deep paths under a moved directory never serve the old
+//     location.
+//
+// Thread safety: all methods are safe for concurrent use. Lock order is
+// epoch-view shard -> entry shard; no method holds two entry-shard locks.
+
+#ifndef CFS_CORE_DENTRY_CACHE_H_
+#define CFS_CORE_DENTRY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/tafdb/schema.h"
+
+namespace cfs {
+
+class DentryCache {
+ public:
+  struct Options {
+    // Total entry budget across all shards (positive + negative). 0
+    // disables caching entirely: every Lookup is a miss, every Put a no-op.
+    size_t capacity = 65536;
+    // Shard count (rounded up to a power of two).
+    size_t shards = 16;
+    // How long a cached ENOENT may be served. <= 0 disables negative
+    // caching entirely.
+    int64_t negative_ttl_ms = 1000;
+    // How long an observed directory epoch is trusted before a hit demands
+    // revalidation. <= 0 means every hit revalidates.
+    int64_t epoch_ttl_ms = 2000;
+  };
+
+  enum class Outcome : uint8_t {
+    kMiss,             // nothing cached (or the entry was stale and dropped)
+    kHit,              // valid positive entry
+    kNegativeHit,      // valid cached ENOENT
+    kNeedsValidation,  // entry present but the parent's epoch view is too
+                       // old to trust; refresh via ObserveDirEpoch, retry
+  };
+
+  struct LookupResult {
+    Outcome outcome = Outcome::kMiss;
+    InodeId id = kInvalidInode;
+    InodeType type = InodeType::kNone;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t negative_hits = 0;
+    uint64_t stale_drops = 0;   // epoch/parent mismatch or expired negative
+    uint64_t evictions = 0;     // LRU capacity evictions
+    uint64_t prefix_drops = 0;  // entries removed by ErasePrefix
+    uint64_t revalidations = 0; // kNeedsValidation outcomes handed out
+  };
+
+  explicit DentryCache(Options options, const Clock* clock = RealClock::Get());
+
+  // Consults the cache for `path`, whose final component lives in directory
+  // `parent`. Never blocks on RPCs; kNeedsValidation asks the caller to
+  // fetch the directory epoch and retry.
+  LookupResult Lookup(const std::string& path, InodeId parent);
+
+  // Fills a positive / negative entry, tagged with the current view of
+  // `parent`'s epoch. Callers must have observed the directory epoch
+  // (ObserveDirEpoch) in the same resolution round; without a view the
+  // entry is stored untagged and treated as stale on first lookup.
+  void PutPositive(const std::string& path, InodeId parent, InodeId id,
+                   InodeType type);
+  void PutNegative(const std::string& path, InodeId parent);
+
+  // Drops the exact path.
+  void Erase(const std::string& path);
+  // Drops the exact path and every cached descendant ("path/..."). O(cached
+  // entries) — acceptable because directory renames are rare (paper §4.3).
+  void ErasePrefix(const std::string& path);
+
+  // Records a fresh observation of `dir`'s mutation epoch (from a read
+  // piggyback, an own mutation, or an invalidation broadcast). Regressing
+  // epochs are ignored except the 0 reset after a shard restart, which
+  // conservatively invalidates.
+  void ObserveDirEpoch(InodeId dir, uint64_t epoch);
+  // The engine's current view of `dir`'s epoch (0 if never observed).
+  uint64_t ObservedDirEpoch(InodeId dir) const;
+
+  void Clear();
+  size_t size() const;
+  size_t capacity() const { return options_.capacity; }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    InodeId parent = kInvalidInode;
+    InodeId id = kInvalidInode;
+    InodeType type = InodeType::kNone;
+    uint64_t epoch = 0;            // parent epoch tag at fill time
+    bool negative = false;
+    int64_t negative_expire_us = 0;
+  };
+  // LRU list front = most recent; the index maps path -> list node.
+  using LruList = std::list<std::pair<std::string, Entry>>;
+  struct EntryShard {
+    mutable std::mutex mu;
+    LruList lru;
+    std::unordered_map<std::string, LruList::iterator> index;
+  };
+  struct EpochView {
+    uint64_t epoch = 0;
+    int64_t observed_us = 0;
+  };
+  struct EpochShard {
+    mutable std::mutex mu;
+    std::unordered_map<InodeId, EpochView> views;
+  };
+
+  EntryShard& ShardFor(const std::string& path);
+  EpochShard& EpochShardFor(InodeId dir) const;
+  // Reads the view under the epoch-shard lock; ok=false when unobserved.
+  bool ViewOf(InodeId dir, EpochView* out) const;
+  void PutEntry(const std::string& path, Entry entry);
+
+  Options options_;
+  const Clock* clock_;
+  size_t shard_mask_ = 0;
+  size_t per_shard_capacity_ = 0;
+  std::vector<EntryShard> entry_shards_;
+  mutable std::vector<EpochShard> epoch_shards_;
+
+  // Per-instance stats are atomics so recording stays outside the shard
+  // mutexes; global registry counters aggregate the same events across all
+  // engines (dentry_cache.*).
+  struct AtomicStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> negative_hits{0};
+    std::atomic<uint64_t> stale_drops{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> prefix_drops{0};
+    std::atomic<uint64_t> revalidations{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace cfs
+
+#endif  // CFS_CORE_DENTRY_CACHE_H_

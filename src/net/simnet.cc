@@ -125,6 +125,41 @@ Status SimNet::BeginCall(NodeId from, NodeId to) {
   return Status::Ok();
 }
 
+size_t SimNet::Multicast(NodeId from, const std::vector<NodeId>& to,
+                         const std::function<void(NodeId)>& fn) {
+  size_t delivered = 0;
+  bool latency_injected = false;
+  for (NodeId dest : to) {
+    if (has_faults_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (down_nodes_.count(dest) != 0 || down_nodes_.count(from) != 0 ||
+          partitions_.count(std::minmax(from, dest)) != 0) {
+        continue;
+      }
+    }
+    // The concurrent fan-out completes when the slowest call does: charge
+    // one round trip of injected latency for the whole batch.
+    int64_t injected_us = latency_injected ? 0 : InjectLatency(from, dest);
+    latency_injected = true;
+    total_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (injected_us > 0) {
+      total_injected_us_.fetch_add(injected_us, std::memory_order_relaxed);
+    }
+    t_hops++;
+    OpTrace::AddPhase(Phase::kRpc, injected_us);
+    nodes_[dest].calls->fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(edge_mu_);
+      EdgeStat& edge = edges_[EdgeKey(from, dest)];
+      edge.calls++;
+      edge.injected_us += injected_us;
+    }
+    fn(dest);
+    delivered++;
+  }
+  return delivered;
+}
+
 int64_t SimNet::InjectLatency(NodeId from, NodeId to) {
   if (options_.mode == LatencyMode::kZero) return 0;
   int64_t base = (nodes_[from].server == nodes_[to].server)

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -95,6 +96,16 @@ class SimNet {
     if (!delivery.ok()) return delivery;
     return std::forward<Fn>(fn)();
   }
+
+  // One concurrent fan-out round: invokes `fn(to)` for every deliverable
+  // destination, with per-destination fault checks and hop/edge accounting,
+  // but the round-trip latency of a single call injected once — the sender
+  // issues all calls in parallel and joins the slowest. Undeliverable
+  // destinations are skipped (fan-out is best-effort; used for cache
+  // invalidation broadcast, where a down client simply restarts cold).
+  // Returns the number of destinations reached.
+  size_t Multicast(NodeId from, const std::vector<NodeId>& to,
+                   const std::function<void(NodeId)>& fn);
 
   // Stats.
   uint64_t TotalCalls() const { return total_calls_.load(); }

@@ -349,8 +349,37 @@ Status Renamer::Rename(const RenameRequest& req) {
 
   if (!commit_status.ok()) return commit_status;
 
-  // 7. Post-commit: replaced file attributes in FileStore are orphaned by
-  //    design (deterministic ordering, Fig 7) and reclaimed asynchronously.
+  // 7. Post-commit: bump both parents' mutation epochs so client engines
+  //    detect their cached dentries as stale on first touch. The bumps are
+  //    piggybacked on the shard mutations just executed (no extra RPC round
+  //    trips); the epoch lives on the shard owning the directory's entry
+  //    list.
+  CacheInvalidation inv;
+  inv.src_path = req.src_path;
+  inv.dst_path = req.dst_path;
+  inv.subtree = src_is_dir;
+  inv.src_parent = req.src_parent;
+  inv.src_parent_epoch =
+      tafdb_->ShardFor(req.src_parent)->BumpDirEpoch(req.src_parent);
+  inv.dst_parent = req.dst_parent;
+  inv.dst_parent_epoch =
+      req.dst_parent == req.src_parent
+          ? inv.src_parent_epoch
+          : tafdb_->ShardFor(req.dst_parent)->BumpDirEpoch(req.dst_parent);
+
+  // 8. Eager cluster-wide invalidation: one synchronous SimNet fan-out to
+  //    every client engine before the rename returns. Directory moves drop
+  //    whole cached subtrees (prefix invalidation); without this, deep
+  //    cached paths under the moved directory would keep resolving to the
+  //    old location until their parents' epoch views aged out.
+  if (broadcast_) {
+    broadcast_(inv);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.invalidations_broadcast++;
+  }
+
+  // 9. Replaced file attributes in FileStore are orphaned by design
+  //    (deterministic ordering, Fig 7) and reclaimed asynchronously.
   if (dst_exists && dst->type != InodeType::kDirectory &&
       options_.tiered_attrs && filestore_ != nullptr) {
     filestore_->UnrefAsync(dst->id);

@@ -25,6 +25,7 @@
 #define CFS_RENAMER_RENAMER_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,6 +44,26 @@ struct RenameRequest {
   std::string src_name;
   InodeId dst_parent = kInvalidInode;
   std::string dst_name;
+  // Full client-visible paths, carried so the post-commit invalidation
+  // broadcast can name what moved (client dentry caches key by path). May
+  // be empty when the caller has no cache to keep coherent (tests, tools);
+  // the broadcast then only publishes the parents' new epochs.
+  std::string src_path;
+  std::string dst_path;
+};
+
+// Post-commit cache invalidation, broadcast to every client engine after a
+// normal-path rename: the exact paths that moved (whole subtrees when a
+// directory moved) plus both parents' freshly bumped epochs, so receivers
+// refresh their views instead of waiting out the epoch TTL.
+struct CacheInvalidation {
+  std::string src_path;
+  std::string dst_path;
+  bool subtree = false;  // a directory moved: drop cached descendants too
+  InodeId src_parent = kInvalidInode;
+  uint64_t src_parent_epoch = 0;
+  InodeId dst_parent = kInvalidInode;
+  uint64_t dst_parent_epoch = 0;
 };
 
 struct RenamerOptions {
@@ -80,8 +101,19 @@ class Renamer {
     uint64_t committed = 0;
     uint64_t aborted = 0;
     uint64_t loops_detected = 0;
+    uint64_t invalidations_broadcast = 0;
   };
   Stats stats() const;
+
+  // Installed by the assembled system (Cfs): delivers a post-commit
+  // CacheInvalidation to every registered client engine. Runs on the
+  // renaming caller's thread, synchronously, before Rename returns — which
+  // is what makes post-rename lookups through other engines coherent. Must
+  // be set before Start() and outlive the Renamer.
+  void set_invalidation_broadcast(
+      std::function<void(const CacheInvalidation&)> fn) {
+    broadcast_ = std::move(fn);
+  }
 
  private:
   // Walks dst ancestors; returns true if `candidate` appears (loop).
@@ -94,6 +126,7 @@ class Renamer {
   std::unique_ptr<RaftGroup> group_;  // leader election only
   LockManager locks_;
   std::atomic<TxnId> next_txn_{1};
+  std::function<void(const CacheInvalidation&)> broadcast_;
 
   mutable std::mutex stats_mu_;
   Stats stats_;

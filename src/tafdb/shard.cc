@@ -278,6 +278,17 @@ StatusOr<std::vector<InodeRecord>> TafDbShard::ScanDir(
   return out;
 }
 
+uint64_t TafDbShard::DirEpoch(InodeId dir) const {
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  auto it = dir_epochs_.find(dir);
+  return it == dir_epochs_.end() ? 0 : it->second;
+}
+
+uint64_t TafDbShard::BumpDirEpoch(InodeId dir) {
+  std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+  return ++dir_epochs_[dir];
+}
+
 PrimitiveResult TafDbShard::CommitLocal(const PrimitiveOp& write_set) {
   Metrics().txn_commits->Add();
   TxnWriteProcessingGate();

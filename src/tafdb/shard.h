@@ -22,7 +22,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/load_gate.h"
@@ -134,6 +136,17 @@ class TafDbShard : public TxnParticipant {
   Status Abort(TxnId txn) override;
   NodeId ParticipantNetId() const override { return ServiceNetId(); }
 
+  // ---- directory epoch coherence hints (client dentry caches) ----
+  // A per-directory mutation counter kept on the shard owning the
+  // directory's entry list (same kID routing as its id records). Mutating
+  // ops bump it; client engines tag cached dentries with the epoch observed
+  // at fill time and treat a mismatch as staleness on first touch. The
+  // epochs are unreplicated soft state (coherence hints, not data): after a
+  // shard restart they reset to zero, which merely forces clients to
+  // revalidate — the tag comparison is equality, not ordering.
+  uint64_t DirEpoch(InodeId dir) const;
+  uint64_t BumpDirEpoch(InodeId dir);  // returns the new epoch
+
   // ---- GC change capture ----
   std::vector<std::pair<LogIndex, ShardCommand>> ReadCommittedSince(
       LogIndex from, size_t max) const;
@@ -159,6 +172,10 @@ class TafDbShard : public TxnParticipant {
   std::mutex staged_mu_;
   std::map<TxnId, PrimitiveOp> staged_;  // service-side buffer pre-Prepare
   std::atomic<uint64_t> request_seq_{1};
+  // Directory epochs: read-mostly (every cache-miss read consults one),
+  // written only by namespace mutations.
+  mutable std::shared_mutex epoch_mu_;
+  std::unordered_map<InodeId, uint64_t> dir_epochs_;
 };
 
 }  // namespace cfs

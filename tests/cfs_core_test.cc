@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
 
 #include "src/common/metrics.h"
+#include "src/common/random.h"
 #include "src/core/cfs.h"
 #include "src/core/gc.h"
 
@@ -31,6 +33,10 @@ CfsOptions SmallCluster(CfsOptions options) {
   options.renamer.raft = options.tafdb.raft;
   options.gc_interval_ms = 50;
   options.gc_grace_ms = 100;
+  // Freeze time-based cache revalidation: coherence in these tests must
+  // come from epoch bumps and invalidation broadcasts, not from TTLs
+  // happening to expire on a slow CI machine.
+  options.dentry_epoch_ttl_ms = 600000;
   return options;
 }
 
@@ -514,6 +520,10 @@ TEST_F(CfsFullTest, StaleClientCacheHealsAfterExternalChange) {
   auto other = fs_->NewClient();
   ASSERT_TRUE(other->Unlink("/c/f").ok());
 
+  // Wait out the asynchronous FileStore attribute removal so the stale
+  // cached dentry is guaranteed to point at a dead attribute record.
+  fs_->filestore()->DrainAsync();
+
   // The first client's cached dentry is stale; the operation must still
   // converge to ENOENT (attr fetch fails, cache evicts).
   EXPECT_TRUE(client_->GetAttr("/c/f").status().IsNotFound());
@@ -558,6 +568,141 @@ TEST_F(CfsFullTest, ProxyModeAddsAHop) {
 
   EXPECT_GT(proxy_hops, direct_hops);
   proxy_fs.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Dentry-cache coherence across engines. (The "Coherence" infix is load-
+// bearing: scripts/check.sh runs these tests again under TSan.)
+
+TEST_F(CfsFullTest, CoherenceDirectoryRenameInvalidatesCachedSubtree) {
+  ASSERT_TRUE(client_->Mkdir("/pd", 0755).ok());
+  ASSERT_TRUE(client_->Mkdir("/pd/sub", 0755).ok());
+  ASSERT_TRUE(client_->Create("/pd/sub/f", 0644).ok());
+  ASSERT_TRUE(client_->GetAttr("/pd/sub/f").ok());  // warm the whole chain
+
+  // Cross-directory directory move: normal path, prefix invalidation.
+  ASSERT_TRUE(client_->Rename("/pd/sub", "/q").ok());
+
+  // The old location must be gone immediately on the renaming engine...
+  EXPECT_TRUE(client_->GetAttr("/pd/sub/f").status().IsNotFound());
+  EXPECT_TRUE(client_->GetAttr("/q/f").ok());
+
+  // ...and recreating the directory must not resurrect the cached child
+  // (the pre-cache-rewrite engine kept "/pd/sub/f" alive here).
+  ASSERT_TRUE(client_->Mkdir("/pd/sub", 0755).ok());
+  EXPECT_TRUE(client_->GetAttr("/pd/sub/f").status().IsNotFound());
+  EXPECT_TRUE(client_->GetAttr("/q/f").ok());
+}
+
+// Engine A renames; engine B (with a warm cache) must observe the new
+// location and ENOENT at the old one with zero staleness, in both client
+// resolving modes.
+class CfsCoherenceTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    CfsOptions options =
+        SmallCluster(GetParam() ? CfsFullOptions() : CfsPrimitivesOptions());
+    fs_ = std::make_unique<Cfs>(options);
+    ASSERT_TRUE(fs_->Start().ok());
+    a_ = fs_->NewClient();
+    b_ = fs_->NewClient();
+  }
+  void TearDown() override {
+    a_.reset();
+    b_.reset();
+    fs_->Stop();
+  }
+
+  std::unique_ptr<Cfs> fs_;
+  std::unique_ptr<MetadataClient> a_;
+  std::unique_ptr<MetadataClient> b_;
+};
+
+TEST_P(CfsCoherenceTest, RenameVisibleAcrossEngines) {
+  ASSERT_TRUE(a_->Mkdir("/a", 0755).ok());
+  ASSERT_TRUE(a_->Mkdir("/c", 0755).ok());
+  ASSERT_TRUE(a_->Create("/a/b", 0644).ok());
+  ASSERT_TRUE(b_->GetAttr("/a/b").ok());  // warm B's cache
+
+  ASSERT_TRUE(a_->Rename("/a/b", "/c/b").ok());
+
+  // Positive coherence: B sees the new location immediately.
+  EXPECT_TRUE(b_->GetAttr("/c/b").ok());
+  // Negative coherence: B's warm entry for the old path must not serve.
+  EXPECT_TRUE(b_->GetAttr("/a/b").status().IsNotFound());
+  EXPECT_TRUE(b_->Lookup("/a/b").status().IsNotFound());
+}
+
+TEST_P(CfsCoherenceTest, RandomizedRenameLookupInterleavingsZeroStale) {
+  constexpr int kFiles = 8;
+  constexpr int kRounds = 1000;
+  ASSERT_TRUE(a_->Mkdir("/d0", 0755).ok());
+  ASSERT_TRUE(a_->Mkdir("/d1", 0755).ok());
+  // files[i] tracks which directory currently holds file i.
+  int where[kFiles];
+  for (int i = 0; i < kFiles; i++) {
+    ASSERT_TRUE(a_->Create("/d0/f" + std::to_string(i), 0644).ok());
+    where[i] = 0;
+    // Warm B on the initial location so its cache has something to go
+    // stale.
+    ASSERT_TRUE(b_->GetAttr("/d0/f" + std::to_string(i)).ok());
+  }
+
+  Rng rng(20260806);
+  int stale_reads = 0;
+  for (int round = 0; round < kRounds; round++) {
+    int i = static_cast<int>(rng.Uniform(kFiles));
+    std::string name = "f" + std::to_string(i);
+    std::string src = "/d" + std::to_string(where[i]) + "/" + name;
+    std::string dst = "/d" + std::to_string(1 - where[i]) + "/" + name;
+    ASSERT_TRUE(a_->Rename(src, dst).ok()) << "round " << round;
+    where[i] = 1 - where[i];
+
+    // B must observe the move with zero staleness: sometimes it checks the
+    // new location, sometimes the old, sometimes a random other file.
+    int probe = static_cast<int>(rng.Uniform(kFiles));
+    std::string probe_name = "f" + std::to_string(probe);
+    std::string at = "/d" + std::to_string(where[probe]) + "/" + probe_name;
+    std::string gone =
+        "/d" + std::to_string(1 - where[probe]) + "/" + probe_name;
+    if (!b_->GetAttr(at).ok()) stale_reads++;
+    if (!b_->GetAttr(gone).status().IsNotFound()) stale_reads++;
+  }
+  EXPECT_EQ(stale_reads, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ResolvingModes, CfsCoherenceTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& param) {
+                           return param.param ? "ClientResolving" : "Proxied";
+                         });
+
+// Fast-path (intra-directory) renames are not broadcast; coherence there
+// comes from the epoch bump plus the receiver's epoch-view TTL. With the
+// TTL at 0 every cache hit revalidates, so the heal is immediate and
+// deterministic.
+TEST(CfsCoherenceEpochTest, FastPathRenameHealsViaEpochRevalidation) {
+  CfsOptions options = SmallCluster(CfsFullOptions());
+  options.dentry_epoch_ttl_ms = 0;
+  Cfs fs(options);
+  ASSERT_TRUE(fs.Start().ok());
+  auto a = fs.NewClient();
+  auto b = fs.NewClient();
+
+  ASSERT_TRUE(a->Mkdir("/d", 0755).ok());
+  ASSERT_TRUE(a->Create("/d/x", 0644).ok());
+  ASSERT_TRUE(b->GetAttr("/d/x").ok());  // warm B
+
+  // Same-directory file rename: fast path, no Renamer, no broadcast.
+  ASSERT_TRUE(a->Rename("/d/x", "/d/y").ok());
+
+  // B's hit on the stale entry revalidates the epoch, sees the bump, and
+  // falls through to a fresh read.
+  EXPECT_TRUE(b->GetAttr("/d/x").status().IsNotFound());
+  EXPECT_TRUE(b->GetAttr("/d/y").ok());
+
+  a.reset();
+  b.reset();
+  fs.Stop();
 }
 
 }  // namespace

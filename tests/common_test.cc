@@ -117,7 +117,9 @@ TEST(EncodingTest, LengthPrefixedRoundTrip) {
 TEST(EncodingTest, TruncatedInputFailsCleanly) {
   std::string buf;
   PutLengthPrefixed(&buf, "hello");
-  Decoder dec(buf.substr(0, 3));
+  // Keep the truncated copy alive: Decoder only holds a view of it.
+  std::string truncated = buf.substr(0, 3);
+  Decoder dec(truncated);
   std::string out;
   EXPECT_FALSE(dec.GetLengthPrefixed(&out));
   uint64_t v;

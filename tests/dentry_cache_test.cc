@@ -1,0 +1,256 @@
+// Unit tests for the sharded, epoch-tagged client dentry cache
+// (src/core/dentry_cache.h): LRU bounds, negative-entry TTLs, epoch
+// staleness and revalidation, prefix invalidation, and concurrent use.
+
+#include "src/core/dentry_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace cfs {
+namespace {
+
+using Outcome = DentryCache::Outcome;
+
+constexpr InodeId kDir = 7;
+
+DentryCache::Options SmallOptions() {
+  DentryCache::Options o;
+  o.capacity = 8;
+  o.shards = 1;  // deterministic LRU order
+  o.negative_ttl_ms = 10;
+  o.epoch_ttl_ms = 100;
+  return o;
+}
+
+TEST(DentryCacheTest, MissThenHitAfterFill) {
+  ManualClock clock;
+  DentryCache cache(SmallOptions(), &clock);
+  cache.ObserveDirEpoch(kDir, 0);
+
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+
+  auto hit = cache.Lookup("/d/a", kDir);
+  EXPECT_EQ(hit.outcome, Outcome::kHit);
+  EXPECT_EQ(hit.id, 42u);
+  EXPECT_EQ(hit.type, InodeType::kFile);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(DentryCacheTest, EntryWithoutEpochViewIsStale) {
+  ManualClock clock;
+  DentryCache cache(SmallOptions(), &clock);
+  // Fill without ever observing the parent's epoch: the entry must not be
+  // trusted (it has no coherence baseline).
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
+  EXPECT_EQ(cache.stats().stale_drops, 1u);
+}
+
+TEST(DentryCacheTest, EpochMismatchDropsEntry) {
+  ManualClock clock;
+  DentryCache cache(SmallOptions(), &clock);
+  cache.ObserveDirEpoch(kDir, 3);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kHit);
+
+  // A directory mutation elsewhere bumps the epoch; once this engine
+  // observes it, the tagged entry is stale on first touch.
+  cache.ObserveDirEpoch(kDir, 4);
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
+  EXPECT_EQ(cache.stats().stale_drops, 1u);
+  // And the entry is gone, not resurrectable.
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
+}
+
+TEST(DentryCacheTest, ParentMismatchDropsEntry) {
+  ManualClock clock;
+  DentryCache cache(SmallOptions(), &clock);
+  cache.ObserveDirEpoch(kDir, 1);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+  // Same path string, different parent directory id (the directory was
+  // replaced): the entry must not serve.
+  cache.ObserveDirEpoch(kDir + 1, 1);
+  EXPECT_EQ(cache.Lookup("/d/a", kDir + 1).outcome, Outcome::kMiss);
+}
+
+TEST(DentryCacheTest, AgedEpochViewDemandsValidation) {
+  ManualClock clock;
+  DentryCache cache(SmallOptions(), &clock);  // epoch_ttl_ms = 100
+  cache.ObserveDirEpoch(kDir, 5);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kHit);
+
+  clock.AdvanceMicros(101 * 1000);
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kNeedsValidation);
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+
+  // Revalidation with an unchanged epoch refreshes the view; the entry
+  // serves again.
+  cache.ObserveDirEpoch(kDir, 5);
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kHit);
+
+  // Revalidation that surfaces a bump turns the entry stale instead.
+  clock.AdvanceMicros(101 * 1000);
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kNeedsValidation);
+  cache.ObserveDirEpoch(kDir, 6);
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
+}
+
+TEST(DentryCacheTest, NegativeEntryServesThenExpires) {
+  ManualClock clock;
+  DentryCache cache(SmallOptions(), &clock);  // negative_ttl_ms = 10
+  cache.ObserveDirEpoch(kDir, 1);
+  cache.PutNegative("/d/missing", kDir);
+
+  EXPECT_EQ(cache.Lookup("/d/missing", kDir).outcome, Outcome::kNegativeHit);
+  EXPECT_EQ(cache.stats().negative_hits, 1u);
+
+  clock.AdvanceMicros(11 * 1000);
+  EXPECT_EQ(cache.Lookup("/d/missing", kDir).outcome, Outcome::kMiss);
+  EXPECT_EQ(cache.stats().stale_drops, 1u);
+}
+
+TEST(DentryCacheTest, ZeroNegativeTtlDisablesNegativeCaching) {
+  ManualClock clock;
+  DentryCache::Options options = SmallOptions();
+  options.negative_ttl_ms = 0;
+  DentryCache cache(options, &clock);
+  cache.ObserveDirEpoch(kDir, 1);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+
+  // PutNegative with the TTL disabled must not plant an ENOENT — but it
+  // must still retire the contradicted positive entry.
+  cache.PutNegative("/d/a", kDir);
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DentryCacheTest, LruEvictsOldestWithinCapacity) {
+  ManualClock clock;
+  DentryCache cache(SmallOptions(), &clock);  // capacity 8, one shard
+  cache.ObserveDirEpoch(kDir, 1);
+  for (int i = 0; i < 8; i++) {
+    cache.PutPositive("/d/e" + std::to_string(i), kDir, 100 + i,
+                      InodeType::kFile);
+  }
+  // Touch the oldest so it moves to the front.
+  EXPECT_EQ(cache.Lookup("/d/e0", kDir).outcome, Outcome::kHit);
+
+  cache.PutPositive("/d/e8", kDir, 108, InodeType::kFile);
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // e1 (now the LRU tail) was evicted; e0 survived its touch.
+  EXPECT_EQ(cache.Lookup("/d/e1", kDir).outcome, Outcome::kMiss);
+  EXPECT_EQ(cache.Lookup("/d/e0", kDir).outcome, Outcome::kHit);
+}
+
+TEST(DentryCacheTest, ErasePrefixDropsSubtreeButNotSiblingPrefix) {
+  ManualClock clock;
+  DentryCache::Options options = SmallOptions();
+  options.capacity = 64;
+  options.shards = 4;  // prefix scan must cover every shard
+  DentryCache cache(options, &clock);
+  cache.ObserveDirEpoch(kDir, 1);
+  cache.PutPositive("/a", kDir, 1, InodeType::kDirectory);
+  cache.PutPositive("/a/x", kDir, 2, InodeType::kFile);
+  cache.PutPositive("/a/x/y", kDir, 3, InodeType::kFile);
+  cache.PutPositive("/ab", kDir, 4, InodeType::kFile);  // sibling, not child
+
+  cache.ErasePrefix("/a");
+  EXPECT_EQ(cache.Lookup("/a", kDir).outcome, Outcome::kMiss);
+  EXPECT_EQ(cache.Lookup("/a/x", kDir).outcome, Outcome::kMiss);
+  EXPECT_EQ(cache.Lookup("/a/x/y", kDir).outcome, Outcome::kMiss);
+  // "/ab" shares the byte prefix but is not inside "/a": must survive.
+  EXPECT_EQ(cache.Lookup("/ab", kDir).outcome, Outcome::kHit);
+  EXPECT_EQ(cache.stats().prefix_drops, 2u);  // "/a/x", "/a/x/y"
+}
+
+TEST(DentryCacheTest, ZeroCapacityDisablesCache) {
+  ManualClock clock;
+  DentryCache::Options options = SmallOptions();
+  options.capacity = 0;
+  DentryCache cache(options, &clock);
+  cache.ObserveDirEpoch(kDir, 1);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
+  EXPECT_EQ(cache.size(), 0u);
+  // Disabled-cache lookups do not pollute the hit/miss counters.
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(DentryCacheTest, EpochRegressionIgnoredExceptReset) {
+  ManualClock clock;
+  DentryCache cache(SmallOptions(), &clock);
+  cache.ObserveDirEpoch(kDir, 9);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+
+  // A reordered (older) observation must not roll the view back.
+  cache.ObserveDirEpoch(kDir, 8);
+  EXPECT_EQ(cache.ObservedDirEpoch(kDir), 9u);
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kHit);
+
+  // A reset to 0 (shard restart) is adopted and invalidates tagged entries.
+  cache.ObserveDirEpoch(kDir, 0);
+  EXPECT_EQ(cache.ObservedDirEpoch(kDir), 0u);
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
+}
+
+// Concurrency smoke: mixed fills, lookups, and prefix drops across threads.
+// Run under TSan by scripts/check.sh; asserts only crash-freedom and that
+// the LRU bound holds.
+TEST(DentryCacheTest, ConcurrentMixedUseStaysBounded) {
+  DentryCache::Options options;
+  options.capacity = 256;
+  options.shards = 8;
+  options.negative_ttl_ms = 1;
+  options.epoch_ttl_ms = 1;
+  DentryCache cache(options);  // real clock: TTL paths get exercised
+
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; i++) {
+        InodeId dir = static_cast<InodeId>(i % 16);
+        std::string path =
+            "/p" + std::to_string(i % 16) + "/c" + std::to_string(i % 97);
+        switch ((i + t) % 5) {
+          case 0:
+            cache.ObserveDirEpoch(dir, static_cast<uint64_t>(i % 7));
+            break;
+          case 1:
+            cache.PutPositive(path, dir, static_cast<InodeId>(i),
+                              InodeType::kFile);
+            break;
+          case 2:
+            cache.PutNegative(path, dir);
+            break;
+          case 3:
+            (void)cache.Lookup(path, dir);
+            break;
+          case 4:
+            if (i % 31 == 0) {
+              cache.ErasePrefix("/p" + std::to_string(i % 16));
+            } else {
+              cache.Erase(path);
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 256u);
+}
+
+}  // namespace
+}  // namespace cfs
