@@ -214,7 +214,8 @@ class DentryCacheBench : public benchmark::Fixture {
       cache_ = std::make_unique<DentryCache>(options);
       cache_->ObserveDirEpoch(1, 1);
       for (int i = 0; i < kCachePaths; i++) {
-        cache_->PutPositive(CachePath(i), 1, 100 + i, InodeType::kFile);
+        cache_->PutPositive(CachePath(i), 1, 100 + i, InodeType::kFile,
+                            /*epoch=*/1);
       }
     }
   }

@@ -186,22 +186,21 @@ void Cfs::UnregisterEngine(CfsEngine* engine) {
 }
 
 void Cfs::BroadcastInvalidation(const CacheInvalidation& inv) {
-  // Snapshot the registry so ApplyInvalidation runs outside engines_mu_
-  // (registration from concurrent NewClient must not deadlock against a
-  // rename in flight). Engines unregister in their destructor, and clients
-  // never race their own destruction with an operation, so the snapshot
-  // stays valid for the duration of the fan-out.
-  std::vector<CfsEngine*> engines;
-  {
-    std::lock_guard<std::mutex> lock(engines_mu_);
-    engines = engines_;
-  }
-  if (engines.empty()) return;
+  // Hold engines_mu_ across the whole fan-out: a client engine may be
+  // destroyed at any time by a thread unrelated to the rename, and only
+  // the registry lock (which ~CfsEngine's UnregisterEngine blocks on)
+  // keeps the snapshot's pointers alive while ApplyInvalidation runs.
+  // ApplyInvalidation touches nothing but the target engine's own cache,
+  // and SimNet::Multicast delivers inline on this thread, so the lock
+  // cannot cycle; a concurrent NewClient's RegisterEngine merely waits for
+  // the broadcast to finish.
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  if (engines_.empty()) return;
   std::vector<NodeId> dests;
-  dests.reserve(engines.size());
-  for (CfsEngine* engine : engines) dests.push_back(engine->self());
+  dests.reserve(engines_.size());
+  for (CfsEngine* engine : engines_) dests.push_back(engine->self());
   net_.Multicast(renamer_->CoordinatorNetId(), dests, [&](NodeId dest) {
-    for (CfsEngine* engine : engines) {
+    for (CfsEngine* engine : engines_) {
       if (engine->self() == dest) {
         engine->ApplyInvalidation(inv);
         break;

@@ -112,7 +112,10 @@ class Cfs {
   void RegisterEngine(CfsEngine* engine);
   void UnregisterEngine(CfsEngine* engine);
   // Delivers `inv` to every registered engine as one SimNet multicast from
-  // the Renamer coordinator (synchronous, on the renaming caller's thread).
+  // the Renamer coordinator (synchronous, on the renaming caller's
+  // thread). Runs with engines_mu_ held so an engine being destroyed
+  // concurrently (UnregisterEngine blocks on the same mutex) can never be
+  // touched after it is freed.
   void BroadcastInvalidation(const CacheInvalidation& inv);
 
  private:
@@ -186,8 +189,13 @@ class CfsEngine : public MetadataClient {
   // paper's "lock phase": the RPC round trips plus in-queue blocking).
   Status LockPhaseCall(NodeId service, const std::function<Status()>& fn);
 
-  // One dentry read from TafDB (1 RPC).
-  StatusOr<InodeRecord> ReadEntry(InodeId parent, const std::string& name);
+  // One dentry read from TafDB (1 RPC). The parent's mutation epoch is
+  // piggybacked on the same round and written to `*observed_epoch` (when
+  // non-null) so callers can tag cache fills with the epoch observed
+  // alongside the data — never a view refreshed by a concurrent
+  // invalidation broadcast after the read.
+  StatusOr<InodeRecord> ReadEntry(InodeId parent, const std::string& name,
+                                  uint64_t* observed_epoch = nullptr);
   StatusOr<InodeRecord> ReadTafAttr(InodeId id);
   PrimitiveResult ExecOnShard(InodeId kid, const PrimitiveOp& op);
 
@@ -214,9 +222,14 @@ class CfsEngine : public MetadataClient {
   // kNeedsValidation outcome triggers one DirEpoch RPC and a retry.
   DentryCache::LookupResult CacheLookup(const std::string& path,
                                         InodeId parent);
+  // Fills tag the entry with `epoch`, the parent's epoch observed in the
+  // same round as the cached data (ReadEntry's piggyback, or the view
+  // captured before issuing an own mutation — older is conservative,
+  // newer would mask staleness).
   void CachePut(const std::string& path, InodeId parent, InodeId id,
-                InodeType type);
-  void CacheNegative(const std::string& path, InodeId parent);
+                InodeType type, uint64_t epoch);
+  void CacheNegative(const std::string& path, InodeId parent,
+                     uint64_t epoch);
   void CacheErase(const std::string& path);
   // Bumps `dir`'s mutation epoch on its TafDB shard after a local mutation
   // and adopts the new value (piggybacked on the mutation round — no extra

@@ -76,35 +76,31 @@ TxnId CfsEngine::NextTxn() {
 DentryCache::LookupResult CfsEngine::CacheLookup(const std::string& path,
                                                  InodeId parent) {
   TraceSpan span(Phase::kResolveCached);
-  DentryCache::LookupResult result = cache_.Lookup(path, parent);
-  if (result.outcome != DentryCache::Outcome::kNeedsValidation) return result;
-  // The epoch view aged past dentry_epoch_ttl_ms: refresh it with one cheap
-  // shard read, then retry. ObserveDirEpoch stamps the view even when the
-  // epoch is unchanged, so the retry cannot loop back here.
-  TafDbShard* shard = fs_->tafdb()->ShardFor(parent);
-  uint64_t epoch = 0;
-  bool fetched = false;
-  (void)fs_->net()->Call(self_, shard->ServiceNetId(), [&]() -> Status {
-    epoch = shard->DirEpoch(parent);
-    fetched = true;
-    return Status::Ok();
+  // On kNeedsValidation (the epoch view aged past dentry_epoch_ttl_ms, or
+  // the TTL is <= 0 and every hit revalidates) the cache refreshes the
+  // view with one cheap shard read and retries, trusting the just-fetched
+  // view; an unreachable shard degrades to a miss. The cache records one
+  // terminal hit/miss outcome per call.
+  return cache_.LookupValidated(path, parent, [&](uint64_t* epoch) {
+    TafDbShard* shard = fs_->tafdb()->ShardFor(parent);
+    bool fetched = false;
+    (void)fs_->net()->Call(self_, shard->ServiceNetId(), [&]() -> Status {
+      *epoch = shard->DirEpoch(parent);
+      fetched = true;
+      return Status::Ok();
+    });
+    return fetched;
   });
-  if (fetched) cache_.ObserveDirEpoch(parent, epoch);
-  result = cache_.Lookup(path, parent);
-  if (result.outcome == DentryCache::Outcome::kNeedsValidation) {
-    // The shard was unreachable; treat as a miss and resolve normally.
-    result = DentryCache::LookupResult();
-  }
-  return result;
 }
 
 void CfsEngine::CachePut(const std::string& path, InodeId parent, InodeId id,
-                         InodeType type) {
-  cache_.PutPositive(path, parent, id, type);
+                         InodeType type, uint64_t epoch) {
+  cache_.PutPositive(path, parent, id, type, epoch);
 }
 
-void CfsEngine::CacheNegative(const std::string& path, InodeId parent) {
-  cache_.PutNegative(path, parent);
+void CfsEngine::CacheNegative(const std::string& path, InodeId parent,
+                              uint64_t epoch) {
+  cache_.PutNegative(path, parent, epoch);
 }
 
 void CfsEngine::CacheErase(const std::string& path) { cache_.Erase(path); }
@@ -150,7 +146,8 @@ void CfsEngine::ApplyInvalidation(const CacheInvalidation& inv) {
 // Resolution
 
 StatusOr<InodeRecord> CfsEngine::ReadEntry(InodeId parent,
-                                           const std::string& name) {
+                                           const std::string& name,
+                                           uint64_t* observed_epoch) {
   TafDbShard* shard = fs_->tafdb()->ShardFor(parent);
   uint64_t epoch = 0;
   bool fetched = false;
@@ -158,12 +155,15 @@ StatusOr<InodeRecord> CfsEngine::ReadEntry(InodeId parent,
     // Piggyback the parent's mutation epoch on the entry read (same shard,
     // same round trip). Epoch before entry: the tag can only be older than
     // the content, so a concurrent bump makes the fill conservatively
-    // stale rather than wrongly fresh.
+    // stale rather than wrongly fresh. Callers that fill the cache must
+    // tag with `*observed_epoch` — NOT the view at fill time, which a
+    // concurrent invalidation broadcast may have advanced past this read.
     epoch = shard->DirEpoch(parent);
     fetched = true;
     return shard->Get(InodeKey::IdRecord(parent, name));
   });
   if (fetched) cache_.ObserveDirEpoch(parent, epoch);
+  if (observed_epoch != nullptr) *observed_epoch = epoch;
   return rec;
 }
 
@@ -246,17 +246,19 @@ StatusOr<CfsEngine::Resolved> CfsEngine::Resolve(const std::string& path,
       return Status::NotFound(path);
     }
   }
-  auto entry = ReadEntry(out.parent, out.name);
+  uint64_t entry_epoch = 0;
+  auto entry = ReadEntry(out.parent, out.name, &entry_epoch);
   if (!entry.ok()) {
-    // ReadEntry just observed the parent's epoch, so the negative entry is
-    // tagged fresh: a cached ENOENT until the TTL runs out or the epoch
-    // moves.
-    if (entry.status().IsNotFound()) CacheNegative(path, out.parent);
+    // Tag the negative entry with the epoch read alongside the ENOENT: a
+    // cached miss until the TTL runs out or the epoch moves.
+    if (entry.status().IsNotFound()) {
+      CacheNegative(path, out.parent, entry_epoch);
+    }
     return entry.status();
   }
   out.id = entry->id;
   out.type = entry->type;
-  CachePut(path, out.parent, out.id, out.type);
+  CachePut(path, out.parent, out.id, out.type, entry_epoch);
   return out;
 }
 
@@ -346,6 +348,11 @@ Status CfsEngine::CreateCommon(const std::string& path, uint32_t mode,
                                const std::string& symlink_target) {
   auto parent = ResolveParent(path);
   if (!parent.ok()) return parent.status();
+  // Capture the parent's epoch view BEFORE issuing the mutation: the fill
+  // below must be tagged with a view no newer than the data it caches (a
+  // broadcast landing mid-operation may both erase this path and advance
+  // the view; tagging with the advanced view would resurrect it as fresh).
+  uint64_t parent_epoch = cache_.ObservedDirEpoch(parent->parent);
   uint64_t ts = NowTs();
   InodeId id = AllocId();
 
@@ -376,7 +383,7 @@ Status CfsEngine::CreateCommon(const std::string& path, uint32_t mode,
       if (result.status.IsNotFound()) CacheErase(path);
       return result.status;
     }
-    CachePut(path, parent->parent, id, type);
+    CachePut(path, parent->parent, id, type, parent_epoch);
     return Status::Ok();
   }
 
@@ -453,7 +460,7 @@ Status CfsEngine::CreateCommon(const std::string& path, uint32_t mode,
   }
   unlock();
   if (commit_st.ok()) {
-    CachePut(path, parent->parent, id, type);
+    CachePut(path, parent->parent, id, type, parent_epoch);
   }
   return commit_st;
 }
@@ -473,6 +480,9 @@ Status CfsEngine::Symlink(const std::string& target,
 Status CfsEngine::Mkdir(const std::string& path, uint32_t mode) {
   auto parent = ResolveParent(path);
   if (!parent.ok()) return parent.status();
+  // Pre-mutation view capture; see CreateCommon for why the fill must not
+  // use a view refreshed after the mutation started.
+  uint64_t parent_epoch = cache_.ObservedDirEpoch(parent->parent);
   uint64_t ts = NowTs();
   InodeId id = AllocId();
 
@@ -502,7 +512,7 @@ Status CfsEngine::Mkdir(const std::string& path, uint32_t mode) {
       if (r2.status.IsNotFound()) CacheErase(path);
       return r2.status;
     }
-    CachePut(path, parent->parent, id, InodeType::kDirectory);
+    CachePut(path, parent->parent, id, InodeType::kDirectory, parent_epoch);
     return Status::Ok();
   }
 
@@ -553,7 +563,7 @@ Status CfsEngine::Mkdir(const std::string& path, uint32_t mode) {
   Status commit_st = CommitWriteSets(std::move(ops), txn);
   unlock();
   if (commit_st.ok()) {
-    CachePut(path, parent->parent, id, InodeType::kDirectory);
+    CachePut(path, parent->parent, id, InodeType::kDirectory, parent_epoch);
   }
   return commit_st;
 }
@@ -852,12 +862,15 @@ StatusOr<FileInfo> CfsEngine::Lookup(const std::string& path) {
   }
   auto parent = ResolveParent(path);
   if (!parent.ok()) return parent.status();
-  auto entry = ReadEntry(parent->parent, parent->name);
+  uint64_t entry_epoch = 0;
+  auto entry = ReadEntry(parent->parent, parent->name, &entry_epoch);
   if (!entry.ok()) {
-    if (entry.status().IsNotFound()) CacheNegative(path, parent->parent);
+    if (entry.status().IsNotFound()) {
+      CacheNegative(path, parent->parent, entry_epoch);
+    }
     return entry.status();
   }
-  CachePut(path, parent->parent, entry->id, entry->type);
+  CachePut(path, parent->parent, entry->id, entry->type, entry_epoch);
   FileInfo info;
   info.id = entry->id;
   info.type = entry->type;
@@ -1053,6 +1066,8 @@ Status CfsEngine::Link(const std::string& existing,
   }
   auto parent = ResolveParent(link_path);
   if (!parent.ok()) return parent.status();
+  // Pre-mutation view capture; see CreateCommon.
+  uint64_t parent_epoch = cache_.ObservedDirEpoch(parent->parent);
   uint64_t ts = NowTs();
 
   // Bump the link count on the attribute first (orphan-tolerant order),
@@ -1102,7 +1117,7 @@ Status CfsEngine::Link(const std::string& existing,
     }
     return result.status;
   }
-  CachePut(link_path, parent->parent, src->id, src->type);
+  CachePut(link_path, parent->parent, src->id, src->type, parent_epoch);
   return Status::Ok();
 }
 

@@ -96,46 +96,47 @@ uint64_t DentryCache::ObservedDirEpoch(InodeId dir) const {
   return ViewOf(dir, &view) ? view.epoch : 0;
 }
 
-DentryCache::LookupResult DentryCache::Lookup(const std::string& path,
-                                              InodeId parent) {
+DentryCache::LookupResult DentryCache::LookupRound(const std::string& path,
+                                                   InodeId parent,
+                                                   bool view_is_fresh,
+                                                   bool* stale) {
   LookupResult result;
-  if (options_.capacity == 0) {
-    return result;  // disabled: always a miss, and skip the counters
-  }
   EpochView view;
   bool has_view = ViewOf(parent, &view);
   int64_t now_us = clock_->NowMicros();
 
   EntryShard& shard = ShardFor(path);
-  bool stale = false;
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.index.find(path);
-    if (it != shard.index.end()) {
-      const Entry& entry = it->second->second;
-      if (entry.parent != parent || !has_view || entry.epoch != view.epoch ||
-          (entry.negative && now_us >= entry.negative_expire_us)) {
-        // Re-parented, never-validated, epoch-mismatched, or an expired
-        // ENOENT: drop it and miss.
-        shard.lru.erase(it->second);
-        shard.index.erase(it);
-        stale = true;
-      } else if (options_.epoch_ttl_ms <= 0 ||
-                 now_us - view.observed_us > options_.epoch_ttl_ms * 1000) {
-        // The entry agrees with our view, but the view itself has aged
-        // out: ask the caller to refresh the epoch first.
-        result.outcome = Outcome::kNeedsValidation;
-      } else {
-        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-        result.outcome =
-            entry.negative ? Outcome::kNegativeHit : Outcome::kHit;
-        result.id = entry.id;
-        result.type = entry.type;
-      }
-    }
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(path);
+  if (it == shard.index.end()) return result;
+  const Entry& entry = it->second->second;
+  if (entry.parent != parent || !has_view || entry.epoch != view.epoch ||
+      (entry.negative && now_us >= entry.negative_expire_us)) {
+    // Re-parented, never-validated, epoch-mismatched, or an expired
+    // ENOENT: drop it and miss.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    *stale = true;
+  } else if (!view_is_fresh &&
+             (options_.epoch_ttl_ms <= 0 ||
+              now_us - view.observed_us > options_.epoch_ttl_ms * 1000)) {
+    // The entry agrees with our view, but the view itself has aged out:
+    // ask the caller to refresh the epoch first. A view refreshed within
+    // this logical lookup (view_is_fresh) is trusted unconditionally,
+    // which is what lets epoch_ttl_ms <= 0 mean "one revalidation RPC per
+    // hit" rather than "hits never serve".
+    result.outcome = Outcome::kNeedsValidation;
+  } else {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    result.outcome = entry.negative ? Outcome::kNegativeHit : Outcome::kHit;
+    result.id = entry.id;
+    result.type = entry.type;
   }
+  return result;
+}
 
-  switch (result.outcome) {
+void DentryCache::RecordOutcome(Outcome outcome, bool stale) {
+  switch (outcome) {
     case Outcome::kHit:
       stats_.hits.fetch_add(1, std::memory_order_relaxed);
       Counters().hit->Add();
@@ -157,6 +158,45 @@ DentryCache::LookupResult DentryCache::Lookup(const std::string& path,
       }
       break;
   }
+}
+
+DentryCache::LookupResult DentryCache::Lookup(const std::string& path,
+                                              InodeId parent) {
+  if (options_.capacity == 0) {
+    return LookupResult();  // disabled: always a miss, skip the counters
+  }
+  bool stale = false;
+  LookupResult result = LookupRound(path, parent, /*view_is_fresh=*/false,
+                                    &stale);
+  RecordOutcome(result.outcome, stale);
+  return result;
+}
+
+DentryCache::LookupResult DentryCache::LookupValidated(
+    const std::string& path, InodeId parent,
+    const std::function<bool(uint64_t*)>& refresh_epoch) {
+  if (options_.capacity == 0) {
+    return LookupResult();  // disabled: always a miss, skip the counters
+  }
+  bool stale = false;
+  LookupResult result = LookupRound(path, parent, /*view_is_fresh=*/false,
+                                    &stale);
+  if (result.outcome == Outcome::kNeedsValidation) {
+    // The revalidate event is recorded here; the retry below records the
+    // terminal outcome, so one logical lookup counts exactly one of
+    // hit / negative_hit / miss.
+    RecordOutcome(Outcome::kNeedsValidation, /*stale=*/false);
+    uint64_t epoch = 0;
+    if (refresh_epoch && refresh_epoch(&epoch)) {
+      ObserveDirEpoch(parent, epoch);
+      result = LookupRound(path, parent, /*view_is_fresh=*/true, &stale);
+    } else {
+      // Shard unreachable: the view could not be refreshed, so the hit
+      // cannot be trusted — treat as a miss.
+      result = LookupResult();
+    }
+  }
+  RecordOutcome(result.outcome, stale);
   return result;
 }
 
@@ -187,16 +227,17 @@ void DentryCache::PutEntry(const std::string& path, Entry entry) {
 }
 
 void DentryCache::PutPositive(const std::string& path, InodeId parent,
-                              InodeId id, InodeType type) {
+                              InodeId id, InodeType type, uint64_t epoch) {
   Entry entry;
   entry.parent = parent;
   entry.id = id;
   entry.type = type;
-  entry.epoch = ObservedDirEpoch(parent);
+  entry.epoch = epoch;
   PutEntry(path, entry);
 }
 
-void DentryCache::PutNegative(const std::string& path, InodeId parent) {
+void DentryCache::PutNegative(const std::string& path, InodeId parent,
+                              uint64_t epoch) {
   if (options_.negative_ttl_ms <= 0) {
     // Negative caching disabled — but the ENOENT we just observed proves
     // any cached positive entry for this path is wrong.
@@ -206,7 +247,7 @@ void DentryCache::PutNegative(const std::string& path, InodeId parent) {
   Entry entry;
   entry.parent = parent;
   entry.negative = true;
-  entry.epoch = ObservedDirEpoch(parent);
+  entry.epoch = epoch;
   entry.negative_expire_us =
       clock_->NowMicros() + options_.negative_ttl_ms * 1000;
   PutEntry(path, entry);

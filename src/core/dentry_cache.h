@@ -10,7 +10,9 @@
 //     bounds how long a create by another client can stay invisible.
 //   - Per-entry epoch tags: every entry records the parent directory's
 //     mutation epoch (a counter kept on the directory's TafDB shard,
-//     TafDbShard::DirEpoch) observed when it was filled. A lookup is a hit
+//     TafDbShard::DirEpoch) observed in the same round as the data it
+//     caches — not the view at fill time, which a concurrent invalidation
+//     broadcast could have refreshed past the data. A lookup is a hit
 //     only if the tag matches the engine's current view of that epoch — a
 //     directory mutation anywhere in the cluster bumps the epoch, so stale
 //     dentries are detected on first touch after the view refreshes.
@@ -31,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <string>
@@ -80,23 +83,40 @@ class DentryCache {
     uint64_t stale_drops = 0;   // epoch/parent mismatch or expired negative
     uint64_t evictions = 0;     // LRU capacity evictions
     uint64_t prefix_drops = 0;  // entries removed by ErasePrefix
-    uint64_t revalidations = 0; // kNeedsValidation outcomes handed out
+    uint64_t revalidations = 0; // epoch revalidation rounds triggered
   };
 
   explicit DentryCache(Options options, const Clock* clock = RealClock::Get());
 
   // Consults the cache for `path`, whose final component lives in directory
   // `parent`. Never blocks on RPCs; kNeedsValidation asks the caller to
-  // fetch the directory epoch and retry.
+  // fetch the directory epoch and retry (see LookupValidated, which does
+  // exactly that). Records one counter per call.
   LookupResult Lookup(const std::string& path, InodeId parent);
 
-  // Fills a positive / negative entry, tagged with the current view of
-  // `parent`'s epoch. Callers must have observed the directory epoch
-  // (ObserveDirEpoch) in the same resolution round; without a view the
-  // entry is stored untagged and treated as stale on first lookup.
+  // Lookup plus the revalidation round: on kNeedsValidation, invokes
+  // `refresh_epoch` (expected to fetch the parent's current epoch with one
+  // cheap RPC; returns false if the shard is unreachable), adopts the
+  // refreshed view, and retries with that view trusted as fresh — even
+  // when epoch_ttl_ms <= 0 (revalidate-every-hit), the post-refresh retry
+  // can serve the hit. Exactly one terminal outcome (hit / negative hit /
+  // miss) is recorded per call, plus the revalidate event when a refresh
+  // happened; a failed refresh is a miss.
+  LookupResult LookupValidated(
+      const std::string& path, InodeId parent,
+      const std::function<bool(uint64_t*)>& refresh_epoch);
+
+  // Fills a positive / negative entry tagged with `epoch` — the parent
+  // directory's mutation epoch observed IN THE SAME ROUND as the data
+  // being cached (e.g. piggybacked on the dentry-read RPC), never the
+  // current view: a view refreshed by a concurrent invalidation broadcast
+  // between the read and the fill would tag pre-mutation data as fresh.
+  // An epoch older than the view only makes the entry conservatively
+  // stale. Fills from callers that never observed the epoch pass 0 and
+  // are treated as stale on first lookup.
   void PutPositive(const std::string& path, InodeId parent, InodeId id,
-                   InodeType type);
-  void PutNegative(const std::string& path, InodeId parent);
+                   InodeType type, uint64_t epoch);
+  void PutNegative(const std::string& path, InodeId parent, uint64_t epoch);
 
   // Drops the exact path.
   void Erase(const std::string& path);
@@ -147,6 +167,13 @@ class DentryCache {
   // Reads the view under the epoch-shard lock; ok=false when unobserved.
   bool ViewOf(InodeId dir, EpochView* out) const;
   void PutEntry(const std::string& path, Entry entry);
+  // One cache consultation, no counters. `view_is_fresh` marks a view
+  // refreshed within the same logical lookup (skips the TTL check; cannot
+  // return kNeedsValidation). `*stale` is set when a stale entry was
+  // dropped.
+  LookupResult LookupRound(const std::string& path, InodeId parent,
+                           bool view_is_fresh, bool* stale);
+  void RecordOutcome(Outcome outcome, bool stale);
 
   Options options_;
   const Clock* clock_;

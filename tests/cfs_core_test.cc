@@ -700,6 +700,14 @@ TEST(CfsCoherenceEpochTest, FastPathRenameHealsViaEpochRevalidation) {
   EXPECT_TRUE(b->GetAttr("/d/x").status().IsNotFound());
   EXPECT_TRUE(b->GetAttr("/d/y").ok());
 
+  // Regression: with the TTL at 0 the cache must still SERVE hits — each
+  // hit pays one revalidation RPC, it doesn't degrade to a permanent miss.
+  Counter* hit_counter =
+      MetricsRegistry::Global().GetCounter("dentry_cache.hit");
+  uint64_t hits_before = hit_counter->value();
+  EXPECT_TRUE(b->GetAttr("/d/y").ok());  // warm entry, unchanged epoch
+  EXPECT_GT(hit_counter->value(), hits_before);
+
   a.reset();
   b.reset();
   fs.Stop();

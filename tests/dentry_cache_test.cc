@@ -34,7 +34,7 @@ TEST(DentryCacheTest, MissThenHitAfterFill) {
   cache.ObserveDirEpoch(kDir, 0);
 
   EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
-  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/0);
 
   auto hit = cache.Lookup("/d/a", kDir);
   EXPECT_EQ(hit.outcome, Outcome::kHit);
@@ -49,7 +49,7 @@ TEST(DentryCacheTest, EntryWithoutEpochViewIsStale) {
   DentryCache cache(SmallOptions(), &clock);
   // Fill without ever observing the parent's epoch: the entry must not be
   // trusted (it has no coherence baseline).
-  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/0);
   EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
   EXPECT_EQ(cache.stats().stale_drops, 1u);
 }
@@ -58,7 +58,7 @@ TEST(DentryCacheTest, EpochMismatchDropsEntry) {
   ManualClock clock;
   DentryCache cache(SmallOptions(), &clock);
   cache.ObserveDirEpoch(kDir, 3);
-  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/3);
   EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kHit);
 
   // A directory mutation elsewhere bumps the epoch; once this engine
@@ -74,7 +74,7 @@ TEST(DentryCacheTest, ParentMismatchDropsEntry) {
   ManualClock clock;
   DentryCache cache(SmallOptions(), &clock);
   cache.ObserveDirEpoch(kDir, 1);
-  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/1);
   // Same path string, different parent directory id (the directory was
   // replaced): the entry must not serve.
   cache.ObserveDirEpoch(kDir + 1, 1);
@@ -85,7 +85,7 @@ TEST(DentryCacheTest, AgedEpochViewDemandsValidation) {
   ManualClock clock;
   DentryCache cache(SmallOptions(), &clock);  // epoch_ttl_ms = 100
   cache.ObserveDirEpoch(kDir, 5);
-  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/5);
   EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kHit);
 
   clock.AdvanceMicros(101 * 1000);
@@ -108,7 +108,7 @@ TEST(DentryCacheTest, NegativeEntryServesThenExpires) {
   ManualClock clock;
   DentryCache cache(SmallOptions(), &clock);  // negative_ttl_ms = 10
   cache.ObserveDirEpoch(kDir, 1);
-  cache.PutNegative("/d/missing", kDir);
+  cache.PutNegative("/d/missing", kDir, /*epoch=*/1);
 
   EXPECT_EQ(cache.Lookup("/d/missing", kDir).outcome, Outcome::kNegativeHit);
   EXPECT_EQ(cache.stats().negative_hits, 1u);
@@ -124,11 +124,11 @@ TEST(DentryCacheTest, ZeroNegativeTtlDisablesNegativeCaching) {
   options.negative_ttl_ms = 0;
   DentryCache cache(options, &clock);
   cache.ObserveDirEpoch(kDir, 1);
-  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/1);
 
   // PutNegative with the TTL disabled must not plant an ENOENT — but it
   // must still retire the contradicted positive entry.
-  cache.PutNegative("/d/a", kDir);
+  cache.PutNegative("/d/a", kDir, /*epoch=*/1);
   EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
   EXPECT_EQ(cache.size(), 0u);
 }
@@ -139,12 +139,12 @@ TEST(DentryCacheTest, LruEvictsOldestWithinCapacity) {
   cache.ObserveDirEpoch(kDir, 1);
   for (int i = 0; i < 8; i++) {
     cache.PutPositive("/d/e" + std::to_string(i), kDir, 100 + i,
-                      InodeType::kFile);
+                      InodeType::kFile, /*epoch=*/1);
   }
   // Touch the oldest so it moves to the front.
   EXPECT_EQ(cache.Lookup("/d/e0", kDir).outcome, Outcome::kHit);
 
-  cache.PutPositive("/d/e8", kDir, 108, InodeType::kFile);
+  cache.PutPositive("/d/e8", kDir, 108, InodeType::kFile, /*epoch=*/1);
   EXPECT_EQ(cache.size(), 8u);
   EXPECT_EQ(cache.stats().evictions, 1u);
   // e1 (now the LRU tail) was evicted; e0 survived its touch.
@@ -159,10 +159,11 @@ TEST(DentryCacheTest, ErasePrefixDropsSubtreeButNotSiblingPrefix) {
   options.shards = 4;  // prefix scan must cover every shard
   DentryCache cache(options, &clock);
   cache.ObserveDirEpoch(kDir, 1);
-  cache.PutPositive("/a", kDir, 1, InodeType::kDirectory);
-  cache.PutPositive("/a/x", kDir, 2, InodeType::kFile);
-  cache.PutPositive("/a/x/y", kDir, 3, InodeType::kFile);
-  cache.PutPositive("/ab", kDir, 4, InodeType::kFile);  // sibling, not child
+  cache.PutPositive("/a", kDir, 1, InodeType::kDirectory, /*epoch=*/1);
+  cache.PutPositive("/a/x", kDir, 2, InodeType::kFile, /*epoch=*/1);
+  cache.PutPositive("/a/x/y", kDir, 3, InodeType::kFile, /*epoch=*/1);
+  cache.PutPositive("/ab", kDir, 4, InodeType::kFile,
+                    /*epoch=*/1);  // sibling, not child
 
   cache.ErasePrefix("/a");
   EXPECT_EQ(cache.Lookup("/a", kDir).outcome, Outcome::kMiss);
@@ -179,7 +180,7 @@ TEST(DentryCacheTest, ZeroCapacityDisablesCache) {
   options.capacity = 0;
   DentryCache cache(options, &clock);
   cache.ObserveDirEpoch(kDir, 1);
-  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/1);
   EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
   EXPECT_EQ(cache.size(), 0u);
   // Disabled-cache lookups do not pollute the hit/miss counters.
@@ -190,7 +191,7 @@ TEST(DentryCacheTest, EpochRegressionIgnoredExceptReset) {
   ManualClock clock;
   DentryCache cache(SmallOptions(), &clock);
   cache.ObserveDirEpoch(kDir, 9);
-  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/9);
 
   // A reordered (older) observation must not roll the view back.
   cache.ObserveDirEpoch(kDir, 8);
@@ -201,6 +202,129 @@ TEST(DentryCacheTest, EpochRegressionIgnoredExceptReset) {
   cache.ObserveDirEpoch(kDir, 0);
   EXPECT_EQ(cache.ObservedDirEpoch(kDir), 0u);
   EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
+}
+
+// Regression for the fill/broadcast race: a resolve reads a dentry while
+// the parent is at epoch 1; before the fill lands, a rename commits, bumps
+// the epoch, and its invalidation broadcast refreshes this engine's view
+// to 2. The fill is tagged with the epoch observed WITH the data (1), so
+// it must be treated as stale — tagging with the refreshed view would
+// make pre-rename data indistinguishable from fresh.
+TEST(DentryCacheTest, FillTaggedOlderThanViewIsStaleNotFresh) {
+  ManualClock clock;
+  DentryCache cache(SmallOptions(), &clock);
+  cache.ObserveDirEpoch(kDir, 1);
+  // ... dentry read happens here, piggybacking epoch 1 ...
+  cache.ObserveDirEpoch(kDir, 2);  // broadcast lands before the fill
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/1);
+
+  EXPECT_EQ(cache.Lookup("/d/a", kDir).outcome, Outcome::kMiss);
+  EXPECT_EQ(cache.stats().stale_drops, 1u);
+}
+
+TEST(DentryCacheTest, LookupValidatedRefreshesAgedViewAndServesHit) {
+  ManualClock clock;
+  DentryCache cache(SmallOptions(), &clock);  // epoch_ttl_ms = 100
+  cache.ObserveDirEpoch(kDir, 5);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/5);
+  clock.AdvanceMicros(101 * 1000);
+
+  int refreshes = 0;
+  auto refresh = [&](uint64_t* epoch) {
+    refreshes++;
+    *epoch = 5;  // unchanged on the shard
+    return true;
+  };
+  auto result = cache.LookupValidated("/d/a", kDir, refresh);
+  EXPECT_EQ(result.outcome, Outcome::kHit);
+  EXPECT_EQ(result.id, 42u);
+  EXPECT_EQ(refreshes, 1);
+  // One logical lookup: one terminal outcome, plus the revalidate event.
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+}
+
+// With epoch_ttl_ms <= 0 every hit revalidates — but the revalidated retry
+// must then serve the hit (one extra RPC per hit), not degrade every
+// lookup to a miss plus the RPC.
+TEST(DentryCacheTest, ZeroEpochTtlRevalidatesEveryHitButStillServes) {
+  ManualClock clock;
+  DentryCache::Options options = SmallOptions();
+  options.epoch_ttl_ms = 0;
+  DentryCache cache(options, &clock);
+  cache.ObserveDirEpoch(kDir, 1);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/1);
+
+  auto refresh = [](uint64_t* epoch) {
+    *epoch = 1;
+    return true;
+  };
+  EXPECT_EQ(cache.LookupValidated("/d/a", kDir, refresh).outcome,
+            Outcome::kHit);
+  EXPECT_EQ(cache.LookupValidated("/d/a", kDir, refresh).outcome,
+            Outcome::kHit);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().revalidations, 2u);
+}
+
+TEST(DentryCacheTest, LookupValidatedRefreshSurfacingBumpDropsEntry) {
+  ManualClock clock;
+  DentryCache cache(SmallOptions(), &clock);
+  cache.ObserveDirEpoch(kDir, 5);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/5);
+  clock.AdvanceMicros(101 * 1000);
+
+  auto refresh = [](uint64_t* epoch) {
+    *epoch = 6;  // a mutation happened since the fill
+    return true;
+  };
+  EXPECT_EQ(cache.LookupValidated("/d/a", kDir, refresh).outcome,
+            Outcome::kMiss);
+  EXPECT_EQ(cache.stats().stale_drops, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(DentryCacheTest, LookupValidatedUnreachableShardIsMiss) {
+  ManualClock clock;
+  DentryCache cache(SmallOptions(), &clock);
+  cache.ObserveDirEpoch(kDir, 5);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/5);
+  clock.AdvanceMicros(101 * 1000);
+
+  auto refresh = [](uint64_t*) { return false; };
+  EXPECT_EQ(cache.LookupValidated("/d/a", kDir, refresh).outcome,
+            Outcome::kMiss);
+  // The entry itself was not dropped — it may serve once the view can be
+  // refreshed again.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+}
+
+// Counter accounting: N logical lookups record exactly N terminal
+// outcomes, whatever mix of revalidations happened along the way.
+TEST(DentryCacheTest, OneTerminalOutcomePerLogicalLookup) {
+  ManualClock clock;
+  DentryCache cache(SmallOptions(), &clock);  // epoch_ttl_ms = 100
+  cache.ObserveDirEpoch(kDir, 1);
+  cache.PutPositive("/d/a", kDir, 42, InodeType::kFile, /*epoch=*/1);
+  cache.PutNegative("/d/gone", kDir, /*epoch=*/1);
+
+  auto refresh = [](uint64_t* epoch) {
+    *epoch = 1;
+    return true;
+  };
+  constexpr uint64_t kLookups = 12;
+  for (uint64_t i = 0; i < kLookups; i++) {
+    // Half the rounds age the view out so the revalidation path runs.
+    if (i % 2 == 0) clock.AdvanceMicros(101 * 1000);
+    const char* path = i % 3 == 0 ? "/d/a" : (i % 3 == 1 ? "/d/gone"
+                                                         : "/d/absent");
+    (void)cache.LookupValidated(path, kDir, refresh);
+  }
+  DentryCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.negative_hits, kLookups);
 }
 
 // Concurrency smoke: mixed fills, lookups, and prefix drops across threads.
@@ -229,10 +353,11 @@ TEST(DentryCacheTest, ConcurrentMixedUseStaysBounded) {
             break;
           case 1:
             cache.PutPositive(path, dir, static_cast<InodeId>(i),
-                              InodeType::kFile);
+                              InodeType::kFile,
+                              static_cast<uint64_t>(i % 7));
             break;
           case 2:
-            cache.PutNegative(path, dir);
+            cache.PutNegative(path, dir, static_cast<uint64_t>(i % 7));
             break;
           case 3:
             (void)cache.Lookup(path, dir);
