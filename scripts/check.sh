@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
-# Full check: regular build + complete test suite, a docs-consistency lint,
-# then a ThreadSanitizer build running the concurrency-heavy tests (metrics
-# registry, SimNet edge tables, lock manager, workload harness, the sharded
-# dentry cache, and the cross-engine cache-coherence tests — the code most
-# exposed to the multi-threaded client loops).
+# Full check, four legs:
+#   1. regular build + complete test suite + docs lint + static-analysis
+#      lint (scripts/lint.sh: lock-discipline greps always; clang
+#      -Wthread-safety and clang-tidy when clang is installed);
+#   2. an AddressSanitizer+UBSan build running the complete test suite
+#      (memory errors and UB anywhere, not just in concurrency hot spots);
+#   3. a ThreadSanitizer build running the concurrency-heavy tests (metrics
+#      registry, SimNet edge tables, lock manager, lock-order tracker,
+#      workload harness, the sharded dentry cache, and the cross-engine
+#      cache-coherence tests — the code most exposed to the multi-threaded
+#      client loops).
 #
-# Usage: scripts/check.sh [--tsan-only]
+# Usage: scripts/check.sh [--tsan-only|--asan-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TSAN_TESTS=(metrics_test simnet_test lock_manager_test common_test
-            workload_test dentry_cache_test)
+            lock_order_test workload_test dentry_cache_test)
 
-if [[ "${1:-}" != "--tsan-only" ]]; then
+if [[ "${1:-}" == "" ]]; then
   echo "== regular build + full test suite =="
   cmake -B build -S . >/dev/null
   cmake --build build -j
@@ -20,16 +26,34 @@ if [[ "${1:-}" != "--tsan-only" ]]; then
 
   echo "== docs lint =="
   scripts/docs_lint.sh
+
+  echo "== static-analysis lint =="
+  scripts/lint.sh
 fi
 
-echo "== ThreadSanitizer build + concurrency tests =="
-cmake -B build-tsan -S . -DCFS_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target "${TSAN_TESTS[@]}" cfs_core_test
-for t in "${TSAN_TESTS[@]}"; do
-  echo "-- $t (tsan)"
-  ./build-tsan/tests/"$t"
-done
-echo "-- cfs_core_test coherence suite (tsan)"
-./build-tsan/tests/cfs_core_test --gtest_filter='*Coherence*'
+if [[ "${1:-}" != "--tsan-only" ]]; then
+  echo "== ASan+UBSan build + full test suite =="
+  cmake -B build-asan -S . -DCFS_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+fi
+
+if [[ "${1:-}" != "--asan-only" ]]; then
+  echo "== ThreadSanitizer build + concurrency tests =="
+  cmake -B build-tsan -S . -DCFS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target "${TSAN_TESTS[@]}" cfs_core_test
+  for t in "${TSAN_TESTS[@]}"; do
+    echo "-- $t (tsan)"
+    if [[ "$t" == lock_order_test ]]; then
+      # The tracker tests execute lock inversions on purpose; TSan's own
+      # lockdep would flag exactly those. Race detection stays on.
+      TSAN_OPTIONS="detect_deadlocks=0" ./build-tsan/tests/"$t"
+    else
+      ./build-tsan/tests/"$t"
+    fi
+  done
+  echo "-- cfs_core_test coherence suite (tsan)"
+  ./build-tsan/tests/cfs_core_test --gtest_filter='*Coherence*'
+fi
 
 echo "== all checks passed =="

@@ -32,3 +32,31 @@ if [[ "$missing" -ne 0 ]]; then
   exit 1
 fi
 echo "docs_lint: README.md covers all $(echo "$fields" | wc -l) CfsOptions knobs"
+
+# Every registered lock class — mutexes constructed per the single-line
+# convention  Mutex mu_{"subsystem.name", rank};  (thread_annotations.h) —
+# must appear in DESIGN.md's "Concurrency invariants" rank table with the
+# same rank, so the documented hierarchy can't drift from the code.
+locks=$(grep -rhoE '(Mutex|SharedMutex)[[:space:]]+[A-Za-z_]+\{"[a-z._]+",[[:space:]]*[0-9]+\}' \
+          src/ --include='*.h' --include='*.cc' |
+        sed -E 's/.*\{"([a-z._]+)",[[:space:]]*([0-9]+)\}/\1 \2/' | sort -u)
+
+if [[ -z "$locks" ]]; then
+  echo "docs_lint: failed to extract lock registrations from src/" >&2
+  exit 1
+fi
+
+missing=0
+while read -r name rank; do
+  # A table row: | `name` | rank | ... (whitespace-flexible).
+  if ! grep -qE "^\|\s*\`$name\`\s*\|\s*$rank\s*\|" DESIGN.md; then
+    echo "docs_lint: lock class \"$name\" (rank $rank) is not in DESIGN.md's rank table" >&2
+    missing=1
+  fi
+done <<< "$locks"
+
+if [[ "$missing" -ne 0 ]]; then
+  echo "docs_lint: add the missing lock class(es) to DESIGN.md's Concurrency invariants table" >&2
+  exit 1
+fi
+echo "docs_lint: DESIGN.md covers all $(echo "$locks" | wc -l) lock classes"

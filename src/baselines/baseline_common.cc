@@ -19,13 +19,13 @@ BaselineEngineBase::BaselineEngineBase(SimNet* net, NodeId self,
 
 void BaselineEngineBase::CachePut(const std::string& path, InodeId id,
                                   InodeType type) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   dentry_cache_[path] = {id, type};
 }
 
 bool BaselineEngineBase::CacheGet(const std::string& path, InodeId* id,
                                   InodeType* type) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   auto it = dentry_cache_.find(path);
   if (it == dentry_cache_.end()) return false;
   *id = it->second.first;
@@ -34,7 +34,7 @@ bool BaselineEngineBase::CacheGet(const std::string& path, InodeId* id,
 }
 
 void BaselineEngineBase::CacheErase(const std::string& path) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   dentry_cache_.erase(path);
 }
 

@@ -21,12 +21,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/core/metadata_client.h"
 #include "src/filestore/filestore.h"
+#include "src/common/thread_annotations.h"
 #include "src/net/simnet.h"
 #include "src/tafdb/tafdb.h"
 #include "src/txn/timestamp_oracle.h"
@@ -167,8 +167,10 @@ class BaselineEngineBase : public MetadataClient {
   int64_t lock_timeout_us_;
   TimestampCache ts_cache_;
   TimestampCache id_cache_;
-  std::mutex cache_mu_;
-  std::map<std::string, std::pair<InodeId, InodeType>> dentry_cache_;
+  // Path-cache leaf shared by both baseline engines.
+  Mutex cache_mu_{"baseline.dentry", 45};
+  std::map<std::string, std::pair<InodeId, InodeType>> dentry_cache_
+      GUARDED_BY(cache_mu_);
   std::atomic<TxnId> txn_seq_{1};
 };
 

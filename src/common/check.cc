@@ -1,0 +1,27 @@
+#include "src/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace cfs {
+namespace internal {
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const char* note) {
+  std::string message = std::string("CFS_CHECK failed: ") + expr;
+  if (note != nullptr) {
+    message += " (";
+    message += note;
+    message += ")";
+  }
+  // kError so the report survives any runtime level filter.
+  Logger::Get().Write(LogLevel::kError, file, line, message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace cfs

@@ -1,0 +1,48 @@
+// CFS_CHECK / CFS_DCHECK — invariant assertions replacing bare assert().
+//
+//   CFS_CHECK(cond)            always on, release builds included: logs the
+//                              failing expression through the leveled logger
+//                              (src/common/logging.h) and aborts.
+//   CFS_CHECK_MSG(cond, msg)   same, with an extra string-literal note.
+//   CFS_DCHECK(cond)           CFS_CHECK in debug builds; compiled (so the
+//                              expression stays type-checked) but never
+//                              evaluated under NDEBUG.
+//
+// This header is deliberately dependency-free (it is included from
+// status.h, which everything includes); the logging dependency lives in
+// check.cc behind CheckFailed.
+
+#ifndef CFS_COMMON_CHECK_H_
+#define CFS_COMMON_CHECK_H_
+
+namespace cfs {
+namespace internal {
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const char* note);
+
+}  // namespace internal
+}  // namespace cfs
+
+#define CFS_CHECK(cond)                                            \
+  (__builtin_expect(static_cast<bool>(cond), true)                 \
+       ? static_cast<void>(0)                                      \
+       : ::cfs::internal::CheckFailed(#cond, __FILE__, __LINE__,   \
+                                      nullptr))
+
+#define CFS_CHECK_MSG(cond, note)                                  \
+  (__builtin_expect(static_cast<bool>(cond), true)                 \
+       ? static_cast<void>(0)                                      \
+       : ::cfs::internal::CheckFailed(#cond, __FILE__, __LINE__,   \
+                                      note))
+
+#ifdef NDEBUG
+#define CFS_DCHECK(cond)                       \
+  do {                                         \
+    if (false) static_cast<void>(cond);        \
+  } while (false)
+#else
+#define CFS_DCHECK(cond) CFS_CHECK(cond)
+#endif
+
+#endif  // CFS_COMMON_CHECK_H_

@@ -1,0 +1,316 @@
+#include "src/common/lock_order.h"
+
+#include <atomic>
+#include <bitset>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+// The tracker's own state is synchronized with raw std::mutex on purpose:
+// instrumenting it with cfs::Mutex would recurse into these hooks.
+
+namespace cfs {
+namespace lock_order {
+namespace {
+
+constexpr size_t kMaxClasses = 256;
+
+struct ClassInfo {
+  std::string name;
+  int rank = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, uint32_t> by_name;
+  std::vector<ClassInfo> classes;  // index = id - 1
+};
+
+// Leaked: lock classes are registered from objects with static storage
+// duration and must outlive every destructor that releases a lock.
+Registry& GetRegistry() {
+  static Registry* const r = new Registry();
+  return *r;
+}
+
+struct Graph {
+  std::mutex mu;
+  std::bitset<kMaxClasses> adj[kMaxClasses];  // adj[h][c]: h held before c
+};
+
+Graph& GetGraph() {
+  static Graph* const g = new Graph();
+  return *g;
+}
+
+std::atomic<bool> g_enabled{true};
+// Bumped by ResetGraphForTest so per-thread verified-edge caches notice.
+std::atomic<uint64_t> g_graph_epoch{1};
+
+std::mutex g_handler_mu;
+ViolationHandler g_handler;  // empty = default print-and-abort
+
+struct ThreadState {
+  std::vector<uint32_t> held;  // class ids, acquisition order
+  std::bitset<kMaxClasses * kMaxClasses> verified;  // edges already in graph
+  uint64_t graph_epoch = 0;
+};
+
+ThreadState& State() {
+  thread_local ThreadState state;
+  return state;
+}
+
+ClassInfo InfoOf(uint32_t cls) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (cls == 0 || cls > r.classes.size()) return ClassInfo{"<unknown>", 0};
+  return r.classes[cls - 1];
+}
+
+std::string HeldStackString(const std::vector<uint32_t>& held) {
+  std::string out = "held stack: [";
+  for (size_t i = 0; i < held.size(); i++) {
+    ClassInfo info = InfoOf(held[i]);
+    if (i > 0) out += ", ";
+    out += "\"" + info.name + "\"(rank " + std::to_string(info.rank) + ")";
+  }
+  out += "]";
+  return out;
+}
+
+void Report(Violation v) {
+  ViolationHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(g_handler_mu);
+    handler = g_handler;
+  }
+  if (handler) {
+    handler(v);
+    return;
+  }
+  // Default: print both lock names and die. fprintf (not CFS_LOG): the
+  // logger serializes on a cfs::Mutex and must not re-enter the tracker.
+  const char* kind = v.kind == Violation::Kind::kRank    ? "rank inversion"
+                     : v.kind == Violation::Kind::kCycle ? "deadlock cycle"
+                                                         : "recursive acquisition";
+  std::fprintf(stderr,
+               "[lock_order] FATAL %s: acquiring \"%s\" (rank %d) while "
+               "holding \"%s\" (rank %d); %s\n",
+               kind, v.acquiring.c_str(), v.acquiring_rank, v.held.c_str(),
+               v.held_rank, v.detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// True if `from` reaches `to` in the held-before graph. Caller holds
+// graph.mu.
+bool Reaches(const Graph& graph, uint32_t from, uint32_t to) {
+  std::bitset<kMaxClasses> visited;
+  std::vector<uint32_t> stack{from};
+  while (!stack.empty()) {
+    uint32_t n = stack.back();
+    stack.pop_back();
+    if (n == to) return true;
+    if (visited.test(n)) continue;
+    visited.set(n);
+    const auto& out = graph.adj[n];
+    for (size_t i = 1; i < kMaxClasses; i++) {
+      if (out.test(i) && !visited.test(i)) stack.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return false;
+}
+
+// Shortest held-before path from `from` to `to`, as " -> "-joined names.
+// Caller holds graph.mu.
+std::string PathString(const Graph& graph, uint32_t from, uint32_t to) {
+  std::vector<int> parent(kMaxClasses, -1);
+  std::vector<uint32_t> queue{from};
+  parent[from] = static_cast<int>(from);
+  for (size_t head = 0; head < queue.size(); head++) {
+    uint32_t n = queue[head];
+    if (n == to) break;
+    for (size_t i = 1; i < kMaxClasses; i++) {
+      if (graph.adj[n].test(i) && parent[i] < 0) {
+        parent[i] = static_cast<int>(n);
+        queue.push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+  if (parent[to] < 0) return "";
+  std::vector<uint32_t> path;
+  for (uint32_t n = to;; n = static_cast<uint32_t>(parent[n])) {
+    path.push_back(n);
+    if (n == from) break;
+  }
+  std::string out;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    if (!out.empty()) out += " -> ";
+    out += '"';
+    out += InfoOf(*it).name;
+    out += '"';
+  }
+  return out;
+}
+
+}  // namespace
+
+uint32_t RegisterClass(const char* name, int rank) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.by_name.find(name);
+  if (it != r.by_name.end()) {
+    const ClassInfo& existing = r.classes[it->second - 1];
+    if (existing.rank != rank) {
+      std::fprintf(stderr,
+                   "[lock_order] FATAL: lock class \"%s\" re-registered with "
+                   "rank %d (was %d)\n",
+                   name, rank, existing.rank);
+      std::fflush(stderr);
+      std::abort();
+    }
+    return it->second;
+  }
+  if (r.classes.size() >= kMaxClasses - 1) {
+    std::fprintf(stderr, "[lock_order] FATAL: too many lock classes (>%zu)\n",
+                 kMaxClasses - 1);
+    std::fflush(stderr);
+    std::abort();
+  }
+  r.classes.push_back(ClassInfo{name, rank});
+  uint32_t id = static_cast<uint32_t>(r.classes.size());
+  r.by_name.emplace(name, id);
+  return id;
+}
+
+void OnAcquire(uint32_t cls) {
+  if (cls == 0 || !g_enabled.load(std::memory_order_relaxed)) return;
+  ThreadState& t = State();
+  uint64_t epoch = g_graph_epoch.load(std::memory_order_acquire);
+  if (t.graph_epoch != epoch) {
+    t.verified.reset();
+    t.graph_epoch = epoch;
+  }
+
+  ClassInfo acq;
+  if (!t.held.empty()) acq = InfoOf(cls);
+  for (uint32_t held : t.held) {
+    if (held == cls) {
+      Violation v;
+      v.kind = Violation::Kind::kSelf;
+      v.acquiring = acq.name;
+      v.acquiring_rank = acq.rank;
+      v.held = acq.name;
+      v.held_rank = acq.rank;
+      v.detail = "same lock class acquired twice on one thread; " +
+                 HeldStackString(t.held);
+      Report(std::move(v));
+      continue;
+    }
+    ClassInfo held_info = InfoOf(held);
+    if (acq.rank != 0 && held_info.rank != 0 && acq.rank <= held_info.rank) {
+      Violation v;
+      v.kind = Violation::Kind::kRank;
+      v.acquiring = acq.name;
+      v.acquiring_rank = acq.rank;
+      v.held = held_info.name;
+      v.held_rank = held_info.rank;
+      v.detail = HeldStackString(t.held);
+      Report(std::move(v));
+    }
+    // Held-before edge held -> cls, added once per (thread, graph epoch).
+    size_t bit = static_cast<size_t>(held) * kMaxClasses + cls;
+    if (t.verified.test(bit)) continue;
+    Graph& graph = GetGraph();
+    std::lock_guard<std::mutex> lock(graph.mu);
+    if (!graph.adj[held].test(cls)) {
+      if (Reaches(graph, cls, held)) {
+        Violation v;
+        v.kind = Violation::Kind::kCycle;
+        v.acquiring = acq.name;
+        v.acquiring_rank = acq.rank;
+        v.held = held_info.name;
+        v.held_rank = held_info.rank;
+        v.detail = "new edge \"" + held_info.name + "\" -> \"" + acq.name +
+                   "\" closes cycle: " + PathString(graph, cls, held) +
+                   " -> \"" + acq.name + "\"; " + HeldStackString(t.held);
+        Report(std::move(v));
+        // Leave the inverted edge out so the graph keeps describing the
+        // sanctioned order (and repeated inversions keep reporting).
+        continue;
+      }
+      graph.adj[held].set(cls);
+    }
+    t.verified.set(bit);
+  }
+  t.held.push_back(cls);
+}
+
+void OnTryAcquired(uint32_t cls) {
+  if (cls == 0 || !g_enabled.load(std::memory_order_relaxed)) return;
+  State().held.push_back(cls);
+}
+
+void OnRelease(uint32_t cls) {
+  if (cls == 0) return;
+  // Runs even while disabled so stacks stay balanced across a Disable()
+  // that happened with locks held. Pops the most recent matching entry
+  // (releases are LIFO everywhere in this codebase, but a linear scan keeps
+  // this correct even if they were not).
+  std::vector<uint32_t>& held = State().held;
+  for (size_t i = held.size(); i > 0; i--) {
+    if (held[i - 1] == cls) {
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+void AssertHeld(uint32_t cls) {
+  if (cls == 0 || !g_enabled.load(std::memory_order_relaxed)) return;
+  for (uint32_t held : State().held) {
+    if (held == cls) return;
+  }
+  ClassInfo info = InfoOf(cls);
+  std::fprintf(stderr,
+               "[lock_order] FATAL: AssertHeld(\"%s\") failed; %s\n",
+               info.name.c_str(), HeldStackString(State().held).c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetViolationHandler(ViolationHandler handler) {
+  std::lock_guard<std::mutex> lock(g_handler_mu);
+  g_handler = std::move(handler);
+}
+
+std::vector<std::pair<std::string, int>> RegisteredClasses() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(r.classes.size());
+  for (const ClassInfo& info : r.classes) {
+    out.emplace_back(info.name, info.rank);
+  }
+  return out;
+}
+
+void ResetGraphForTest() {
+  Graph& graph = GetGraph();
+  std::lock_guard<std::mutex> lock(graph.mu);
+  for (auto& row : graph.adj) row.reset();
+  g_graph_epoch.fetch_add(1, std::memory_order_release);
+}
+
+size_t HeldDepthForTest() { return State().held.size(); }
+
+}  // namespace lock_order
+}  // namespace cfs

@@ -1,0 +1,92 @@
+// Runtime lock-order (potential-deadlock) tracker behind cfs::Mutex /
+// cfs::SharedMutex (src/common/thread_annotations.h). Compiled in when
+// CFS_LOCK_ORDER_TRACKING is defined (CMake option CFS_LOCK_ORDER, ON by
+// default; turn it off for peak-performance benchmarking).
+//
+// Model (a deliberately small lockdep): every mutex belongs to a lock
+// *class* keyed by its registered name — all 16 shards of the dentry cache
+// are one class. Each thread keeps a stack of held classes. A blocking
+// acquisition is checked two ways:
+//
+//   1. Rank rule: the acquired class's rank must be strictly greater than
+//      the rank of every held ranked class (DESIGN.md's hierarchy table).
+//      Rank 0 = unranked, exempt from this rule.
+//   2. Held-before graph: for every held class H, the edge H -> C is added
+//      to a global digraph. If C already reaches H, this acquisition order
+//      inverts an order executed earlier (possibly by another thread, hours
+//      ago, across an RPC hop) and a cycle report fires with both lock
+//      names and the offending path.
+//
+// Acquisitions via try_lock are recorded as held but not checked: a try
+// that never blocks cannot complete a deadlock cycle, but later blocking
+// acquisitions must still order against the lock it took.
+//
+// The graph only grows on the first occurrence of an edge per thread (a
+// thread-local verified-edge cache front-runs the global graph mutex), so
+// steady-state overhead is a few thread-local bit tests per acquisition.
+//
+// Violations invoke the installed handler; the default prints both lock
+// names plus the held stack to stderr and aborts. Tests install a recording
+// handler (SetViolationHandler) to observe reports without dying.
+
+#ifndef CFS_COMMON_LOCK_ORDER_H_
+#define CFS_COMMON_LOCK_ORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cfs {
+namespace lock_order {
+
+struct Violation {
+  enum class Kind { kRank, kCycle, kSelf };
+  Kind kind = Kind::kRank;
+  std::string acquiring;  // class being acquired
+  int acquiring_rank = 0;
+  std::string held;  // held class it conflicts with
+  int held_rank = 0;
+  // Human-readable elaboration: the held stack, and for cycles the
+  // held-before path that the new edge closes.
+  std::string detail;
+};
+
+// Registers (or looks up) the lock class `name` and returns its id (> 0).
+// All registrations of one name must agree on `rank`; a mismatch aborts —
+// it is a programming error, not a runtime condition.
+uint32_t RegisterClass(const char* name, int rank);
+
+// Hooks called by the cfs::Mutex / cfs::SharedMutex wrappers.
+void OnAcquire(uint32_t cls);      // rank + cycle checks, then push
+void OnTryAcquired(uint32_t cls);  // push only (try_lock cannot deadlock)
+void OnRelease(uint32_t cls);      // pop (tolerates unbalanced pops)
+
+// Aborts unless the calling thread holds a lock of class `cls`.
+void AssertHeld(uint32_t cls);
+
+// Runtime toggle (compile-time gate is CFS_LOCK_ORDER_TRACKING). While
+// disabled, acquisitions are not recorded at all.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+// Installs `handler` for subsequent violations; an empty handler restores
+// the default print-and-abort behaviour.
+using ViolationHandler = std::function<void(const Violation&)>;
+void SetViolationHandler(ViolationHandler handler);
+
+// The name/rank pairs of every class registered so far (diagnostics).
+std::vector<std::pair<std::string, int>> RegisteredClasses();
+
+// Test support: drops every held-before edge and invalidates the per-thread
+// verified-edge caches. Registered classes survive (their ids are baked
+// into live mutexes).
+void ResetGraphForTest();
+// Test support: depth of the calling thread's held stack.
+size_t HeldDepthForTest();
+
+}  // namespace lock_order
+}  // namespace cfs
+
+#endif  // CFS_COMMON_LOCK_ORDER_H_

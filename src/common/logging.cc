@@ -2,12 +2,14 @@
 
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "src/common/thread_annotations.h"
 
 namespace cfs {
 namespace {
 
-std::mutex g_log_mutex;
+// Leaf lock: serializes the stderr write; nothing is ever acquired under it.
+Mutex g_log_mutex{"common.logging", 95};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -38,7 +40,7 @@ void Logger::Write(LogLevel level, std::string_view file, int line,
                  system_clock::now().time_since_epoch())
                  .count();
   std::string_view base = Basename(file);
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "%s %lld.%06lld %.*s:%d] %.*s\n", LevelTag(level),
                static_cast<long long>(now / 1000000),
                static_cast<long long>(now % 1000000),

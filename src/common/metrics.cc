@@ -2,7 +2,6 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <mutex>
 
 namespace cfs {
 
@@ -71,7 +70,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -81,7 +80,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -90,7 +89,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 LatencyRecorder* MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -101,21 +100,32 @@ LatencyRecorder* MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 uint64_t MetricsRegistry::RegisterProbe(std::string name, ProbeFn fn) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   uint64_t handle = next_probe_++;
   probes_.emplace(handle, std::make_pair(std::move(name), std::move(fn)));
   return handle;
 }
 
 void MetricsRegistry::UnregisterProbe(uint64_t handle) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   probes_.erase(handle);
 }
 
+namespace {
+
+// Probe callbacks take their owners' locks (e.g. SimNet's edge table), so
+// the dumpers snapshot the probe list under the registry lock and invoke
+// the callbacks after releasing it — the registry lock must stay a leaf.
+using ProbeSnapshot =
+    std::vector<std::pair<std::string, MetricsRegistry::ProbeFn>>;
+
+}  // namespace
+
 std::string MetricsRegistry::DumpJson() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  ProbeSnapshot probes;
   std::string out = "{";
 
+  MutexLock guard(mu_);
   out.append("\"counters\":{");
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -157,15 +167,21 @@ std::string MetricsRegistry::DumpJson() const {
     out.push_back('}');
   }
   out.append("},\"probes\":{");
-  first = true;
+  probes.reserve(probes_.size());
   for (const auto& [handle, named_fn] : probes_) {
     (void)handle;
+    probes.push_back(named_fn);
+  }
+  guard.Unlock();
+
+  first = true;
+  for (const auto& [name, fn] : probes) {
     if (!first) out.push_back(',');
     first = false;
-    AppendJsonString(&out, named_fn.first);
+    AppendJsonString(&out, name);
     out.append(":{");
     bool first_sample = true;
-    for (const auto& [key, value] : named_fn.second()) {
+    for (const auto& [key, value] : fn()) {
       if (!first_sample) out.push_back(',');
       first_sample = false;
       AppendJsonString(&out, key);
@@ -179,8 +195,9 @@ std::string MetricsRegistry::DumpJson() const {
 }
 
 std::string MetricsRegistry::DumpText() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  ProbeSnapshot probes;
   std::string out;
+  MutexLock guard(mu_);
   for (const auto& [name, counter] : counters_) {
     out.append(name);
     out.push_back(' ');
@@ -199,10 +216,16 @@ std::string MetricsRegistry::DumpText() const {
     out.append(recorder->Snapshot().Summary());
     out.push_back('\n');
   }
+  probes.reserve(probes_.size());
   for (const auto& [handle, named_fn] : probes_) {
     (void)handle;
-    for (const auto& [key, value] : named_fn.second()) {
-      out.append(named_fn.first);
+    probes.push_back(named_fn);
+  }
+  guard.Unlock();
+
+  for (const auto& [name, fn] : probes) {
+    for (const auto& [key, value] : fn()) {
+      out.append(name);
       out.push_back('.');
       out.append(key);
       out.push_back(' ');
@@ -214,7 +237,7 @@ std::string MetricsRegistry::DumpText() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, recorder] : histograms_) recorder->Reset();

@@ -30,7 +30,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -38,6 +37,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/histogram.h"
+#include "src/common/thread_annotations.h"
 
 namespace cfs {
 
@@ -109,7 +109,10 @@ class MetricsRegistry {
   // A probe is a dump-time callback contributing (key, value) samples from
   // a subsystem's internal state (e.g. SimNet per-edge call tables).
   // Returns a handle for Unregister; the owner must unregister before its
-  // state dies.
+  // state dies. Probes run with the registry lock RELEASED (they take their
+  // owner's locks — holding mu_ across them would order metrics.registry
+  // before every probed subsystem's lock), so a probe registered or
+  // unregistered concurrently with a dump may be missed by that dump.
   using ProbeFn =
       std::function<std::vector<std::pair<std::string, int64_t>>()>;
   uint64_t RegisterProbe(std::string name, ProbeFn fn);
@@ -129,13 +132,15 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  mutable Mutex mu_{"metrics.registry", 87};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<LatencyRecorder>, std::less<>>
-      histograms_;
-  std::map<uint64_t, std::pair<std::string, ProbeFn>> probes_;
-  uint64_t next_probe_ = 1;
+      histograms_ GUARDED_BY(mu_);
+  std::map<uint64_t, std::pair<std::string, ProbeFn>> probes_ GUARDED_BY(mu_);
+  uint64_t next_probe_ GUARDED_BY(mu_) = 1;
 };
 
 // ---------------------------------------------------------------------------

@@ -4,10 +4,11 @@
 #ifndef CFS_COMMON_RANDOM_H_
 #define CFS_COMMON_RANDOM_H_
 
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <vector>
+
+#include "src/common/check.h"
 
 namespace cfs {
 
@@ -39,13 +40,13 @@ class Rng {
 
   // Uniform in [0, n).
   uint64_t Uniform(uint64_t n) {
-    assert(n > 0);
+    CFS_CHECK(n > 0);
     return Next() % n;
   }
 
   // Uniform in [lo, hi].
   int64_t UniformRange(int64_t lo, int64_t hi) {
-    assert(hi >= lo);
+    CFS_CHECK(hi >= lo);
     return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
   }
 
@@ -67,7 +68,7 @@ class ZipfGenerator {
  public:
   ZipfGenerator(uint64_t n, double theta = 0.99)
       : n_(n), theta_(theta) {
-    assert(n > 0);
+    CFS_CHECK(n > 0);
     zetan_ = Zeta(n_, theta_);
     zeta2_ = Zeta(2, theta_);
     alpha_ = 1.0 / (1.0 - theta_);

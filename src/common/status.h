@@ -8,12 +8,13 @@
 #ifndef CFS_COMMON_STATUS_H_
 #define CFS_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <utility>
+
+#include "src/common/check.h"
 
 namespace cfs {
 
@@ -129,7 +130,8 @@ template <typename T>
 class StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+    CFS_CHECK_MSG(!status_.ok(),
+                  "StatusOr constructed from OK status w/o value");
   }
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
 
@@ -137,15 +139,15 @@ class StatusOr {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CFS_CHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CFS_CHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CFS_CHECK(ok());
     return std::move(*value_);
   }
   const T& operator*() const& { return value(); }

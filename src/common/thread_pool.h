@@ -5,12 +5,13 @@
 #ifndef CFS_COMMON_THREAD_POOL_H_
 #define CFS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace cfs {
 
@@ -37,13 +38,14 @@ class ThreadPool {
   void WorkerLoop();
 
   std::string name_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  // Tasks themselves run with mu_ released (a task may acquire any lock).
+  Mutex mu_{"pool.queue", 83};
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cfs

@@ -171,12 +171,12 @@ void Cfs::Stop() {
 }
 
 void Cfs::RegisterEngine(CfsEngine* engine) {
-  std::lock_guard<std::mutex> lock(engines_mu_);
+  MutexLock lock(engines_mu_);
   engines_.push_back(engine);
 }
 
 void Cfs::UnregisterEngine(CfsEngine* engine) {
-  std::lock_guard<std::mutex> lock(engines_mu_);
+  MutexLock lock(engines_mu_);
   for (auto it = engines_.begin(); it != engines_.end(); ++it) {
     if (*it == engine) {
       engines_.erase(it);
@@ -194,7 +194,7 @@ void Cfs::BroadcastInvalidation(const CacheInvalidation& inv) {
   // and SimNet::Multicast delivers inline on this thread, so the lock
   // cannot cycle; a concurrent NewClient's RegisterEngine merely waits for
   // the broadcast to finish.
-  std::lock_guard<std::mutex> lock(engines_mu_);
+  MutexLock lock(engines_mu_);
   if (engines_.empty()) return;
   std::vector<NodeId> dests;
   dests.reserve(engines_.size());

@@ -22,10 +22,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/core/dentry_cache.h"
 #include "src/core/metadata_client.h"
 #include "src/filestore/filestore.h"
@@ -125,8 +125,10 @@ class Cfs {
   std::unique_ptr<FileStoreCluster> filestore_;
   std::unique_ptr<Renamer> renamer_;
   std::unique_ptr<GarbageCollector> gc_;
-  std::mutex engines_mu_;
-  std::vector<CfsEngine*> engines_;
+  // Held across the invalidation multicast (SimNet + engine caches), so it
+  // ranks below simnet.* and dentry.*.
+  Mutex engines_mu_{"cfs.engines", 20};
+  std::vector<CfsEngine*> engines_ GUARDED_BY(engines_mu_);
   std::vector<NodeId> proxy_nodes_;
   std::vector<std::unique_ptr<CfsEngine>> proxy_engines_;
   std::atomic<size_t> next_proxy_{0};

@@ -68,7 +68,7 @@ DentryCache::EpochShard& DentryCache::EpochShardFor(InodeId dir) const {
 
 bool DentryCache::ViewOf(InodeId dir, EpochView* out) const {
   EpochShard& shard = EpochShardFor(dir);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.views.find(dir);
   if (it == shard.views.end()) return false;
   *out = it->second;
@@ -79,7 +79,7 @@ void DentryCache::ObserveDirEpoch(InodeId dir, uint64_t epoch) {
   if (options_.capacity == 0) return;
   int64_t now_us = clock_->NowMicros();
   EpochShard& shard = EpochShardFor(dir);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   EpochView& view = shard.views[dir];
   // A lower epoch is a reordered observation — keep the newer view but
   // still refresh the timestamp (the shard was reachable just now). The
@@ -106,7 +106,7 @@ DentryCache::LookupResult DentryCache::LookupRound(const std::string& path,
   int64_t now_us = clock_->NowMicros();
 
   EntryShard& shard = ShardFor(path);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(path);
   if (it == shard.index.end()) return result;
   const Entry& entry = it->second->second;
@@ -205,7 +205,7 @@ void DentryCache::PutEntry(const std::string& path, Entry entry) {
   bool evicted = false;
   EntryShard& shard = ShardFor(path);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.index.find(path);
     if (it != shard.index.end()) {
       it->second->second = entry;
@@ -255,7 +255,7 @@ void DentryCache::PutNegative(const std::string& path, InodeId parent,
 
 void DentryCache::Erase(const std::string& path) {
   EntryShard& shard = ShardFor(path);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(path);
   if (it == shard.index.end()) return;
   shard.lru.erase(it->second);
@@ -268,7 +268,7 @@ void DentryCache::ErasePrefix(const std::string& path) {
   if (prefix.empty() || prefix.back() != '/') prefix.push_back('/');
   uint64_t dropped = 0;
   for (EntryShard& shard : entry_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto it = shard.index.begin(); it != shard.index.end();) {
       if (it->first.compare(0, prefix.size(), prefix) == 0) {
         shard.lru.erase(it->second);
@@ -287,12 +287,12 @@ void DentryCache::ErasePrefix(const std::string& path) {
 
 void DentryCache::Clear() {
   for (EntryShard& shard : entry_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.lru.clear();
     shard.index.clear();
   }
   for (EpochShard& shard : epoch_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.views.clear();
   }
 }
@@ -300,7 +300,7 @@ void DentryCache::Clear() {
 size_t DentryCache::size() const {
   size_t total = 0;
   for (const EntryShard& shard : entry_shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.lru.size();
   }
   return total;

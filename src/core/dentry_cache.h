@@ -35,13 +35,13 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/thread_annotations.h"
 #include "src/tafdb/schema.h"
 
 namespace cfs {
@@ -149,17 +149,19 @@ class DentryCache {
   // LRU list front = most recent; the index maps path -> list node.
   using LruList = std::list<std::pair<std::string, Entry>>;
   struct EntryShard {
-    mutable std::mutex mu;
-    LruList lru;
-    std::unordered_map<std::string, LruList::iterator> index;
+    // All entry shards share one lock class; no method holds two at once.
+    mutable Mutex mu{"dentry.entry", 41};
+    LruList lru GUARDED_BY(mu);
+    std::unordered_map<std::string, LruList::iterator> index GUARDED_BY(mu);
   };
   struct EpochView {
     uint64_t epoch = 0;
     int64_t observed_us = 0;
   };
   struct EpochShard {
-    mutable std::mutex mu;
-    std::unordered_map<InodeId, EpochView> views;
+    // Ordered before dentry.entry (see the lock-order note above).
+    mutable Mutex mu{"dentry.epoch", 40};
+    std::unordered_map<InodeId, EpochView> views GUARDED_BY(mu);
   };
 
   EntryShard& ShardFor(const std::string& path);

@@ -42,17 +42,20 @@ void GarbageCollector::Start() {
 
 void GarbageCollector::Stop() {
   if (!running_.exchange(false)) return;
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 void GarbageCollector::Loop() {
   while (running_.load()) {
     {
-      std::unique_lock<std::mutex> lock(cv_mu_);
-      cv_.wait_for(lock,
-                   std::chrono::milliseconds(fs_->options().gc_interval_ms),
-                   [this] { return !running_.load(); });
+      MutexLock lock(cv_mu_);
+      auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(fs_->options().gc_interval_ms);
+      while (running_.load()) {
+        if (!cv_.WaitUntil(cv_mu_, deadline)) break;  // interval elapsed
+      }
     }
     if (!running_.load()) return;
     ScanOnce();
@@ -62,7 +65,7 @@ void GarbageCollector::Loop() {
 void GarbageCollector::RunOnceForTest() { ScanOnce(); }
 
 void GarbageCollector::ScanOnce() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   IngestTafDb();
   IngestFileStore();
   Reclaim();
@@ -252,7 +255,7 @@ void GarbageCollector::Reclaim() {
 
 void GarbageCollector::ReportDangling(InodeId parent, const std::string& name,
                                       InodeId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   dangling_.push_back(Dangling{parent, name, id});
 }
 
@@ -289,7 +292,7 @@ void GarbageCollector::ProcessDangling() {
 }
 
 GarbageCollector::Stats GarbageCollector::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

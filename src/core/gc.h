@@ -20,15 +20,14 @@
 #define CFS_CORE_GC_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/thread_annotations.h"
 #include "src/tafdb/schema.h"
 
 namespace cfs {
@@ -61,35 +60,39 @@ class GarbageCollector {
  private:
   void Loop();
   void ScanOnce();
-  void IngestTafDb();
-  void IngestFileStore();
-  void Reclaim();
-  void ProcessDangling();
+  void IngestTafDb() REQUIRES(mu_);
+  void IngestFileStore() REQUIRES(mu_);
+  void Reclaim() REQUIRES(mu_);
+  void ProcessDangling() REQUIRES(mu_);
   void DeleteAttrEverywhere(InodeId id);
 
   Cfs* fs_;
   std::thread thread_;
   std::atomic<bool> running_{false};
-  std::mutex cv_mu_;
-  std::condition_variable cv_;
+  // Sleep/wake only; guards nothing (the predicate is the running_ atomic).
+  Mutex cv_mu_{"gc.wake", 84};
+  CondVar cv_;
 
-  mutable std::mutex mu_;
-  std::vector<uint64_t> tafdb_cursor_;
-  std::vector<uint64_t> filestore_cursor_;
+  // Held across a whole collection pass, which reads every shard's raft
+  // feed and issues repair writes — gc.scan is therefore the outermost
+  // ranked lock in the process.
+  mutable Mutex mu_{"gc.scan", 10};
+  std::vector<uint64_t> tafdb_cursor_ GUARDED_BY(mu_);
+  std::vector<uint64_t> filestore_cursor_ GUARDED_BY(mu_);
   // inode id -> first-seen time (nanos) of the unpaired event.
-  std::map<InodeId, MonoNanos> pending_create_;
-  std::map<InodeId, MonoNanos> pending_delete_;
+  std::map<InodeId, MonoNanos> pending_create_ GUARDED_BY(mu_);
+  std::map<InodeId, MonoNanos> pending_delete_ GUARDED_BY(mu_);
   // ids whose attribute deletion we already observed (bounded memory: this
   // only needs to cover the grace window; cleared opportunistically).
-  std::set<InodeId> attr_deleted_;
-  std::set<InodeId> linked_;
+  std::set<InodeId> attr_deleted_ GUARDED_BY(mu_);
+  std::set<InodeId> linked_ GUARDED_BY(mu_);
   struct Dangling {
     InodeId parent;
     std::string name;
     InodeId id;
   };
-  std::vector<Dangling> dangling_;
-  Stats stats_;
+  std::vector<Dangling> dangling_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace cfs

@@ -57,14 +57,14 @@ int PosixFs::Open(const std::string& path, int flags, uint32_t mode) {
   } else {
     return StatusToErrno(info.status());
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int fd = next_fd_++;
   open_files_[fd] = OpenFile{path, flags};
   return fd;
 }
 
 int PosixFs::Close(int fd) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return open_files_.erase(fd) != 0 ? 0 : -EBADF;
 }
 
@@ -145,11 +145,19 @@ int PosixFs::ReadDirInto(const std::string& path, std::vector<DirEntry>* out) {
 
 int64_t PosixFs::PWrite(int fd, const std::string& data, uint64_t offset) {
   std::string path;
+  int flags = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = open_files_.find(fd);
     if (it == open_files_.end()) return -EBADF;
     path = it->second.path;
+    flags = it->second.flags;
+  }
+  if ((flags & kOAppend) != 0) {
+    // O_APPEND: every write lands at the current end of file.
+    auto info = client_->GetAttr(path);
+    if (!info.ok()) return StatusToErrno(info.status());
+    offset = static_cast<uint64_t>(info->size);
   }
   Status st = client_->Write(path, offset, data);
   if (!st.ok()) return StatusToErrno(st);
@@ -160,7 +168,7 @@ int64_t PosixFs::PRead(int fd, uint64_t offset, size_t length,
                        std::string* out) {
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = open_files_.find(fd);
     if (it == open_files_.end()) return -EBADF;
     path = it->second.path;

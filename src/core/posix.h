@@ -11,10 +11,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/core/metadata_client.h"
 
 namespace cfs {
@@ -63,7 +63,9 @@ class PosixFs {
   int LinkFile(const std::string& existing, const std::string& link_path);
   int ReadDirInto(const std::string& path, std::vector<DirEntry>* out);
 
-  // fd-based I/O; offset tracked per open file (append honours kOAppend).
+  // fd-based I/O. An fd opened with kOAppend writes at end-of-file
+  // (O_APPEND semantics: the passed offset is ignored); otherwise the
+  // caller-supplied offset is used as in pwrite(2).
   int64_t PWrite(int fd, const std::string& data, uint64_t offset);
   int64_t PRead(int fd, uint64_t offset, size_t length, std::string* out);
 
@@ -76,9 +78,10 @@ class PosixFs {
   };
 
   std::unique_ptr<MetadataClient> client_;
-  std::mutex mu_;
-  std::map<int, OpenFile> open_files_;
-  int next_fd_ = 3;
+  // Fd-table leaf: released before any MetadataClient call.
+  Mutex mu_{"posix.fdtable", 88};
+  std::map<int, OpenFile> open_files_ GUARDED_BY(mu_);
+  int next_fd_ GUARDED_BY(mu_) = 3;
 };
 
 }  // namespace cfs

@@ -438,7 +438,7 @@ Status FileStoreNode::DeleteFile(InodeId id) {
 }
 
 Status FileStoreNode::Stage(TxnId txn, FileStoreCommand cmd) {
-  std::lock_guard<std::mutex> lock(staged_mu_);
+  MutexLock lock(staged_mu_);
   staged_[txn] = std::move(cmd);
   return Status::Ok();
 }
@@ -446,7 +446,7 @@ Status FileStoreNode::Stage(TxnId txn, FileStoreCommand cmd) {
 Status FileStoreNode::Prepare(TxnId txn) {
   FileStoreCommand inner;
   {
-    std::lock_guard<std::mutex> lock(staged_mu_);
+    MutexLock lock(staged_mu_);
     auto it = staged_.find(txn);
     if (it == staged_.end()) return Status::NotFound("nothing staged");
     inner = it->second;
@@ -460,7 +460,7 @@ Status FileStoreNode::Prepare(TxnId txn) {
 
 Status FileStoreNode::Commit(TxnId txn) {
   {
-    std::lock_guard<std::mutex> lock(staged_mu_);
+    MutexLock lock(staged_mu_);
     staged_.erase(txn);
   }
   FileStoreCommand cmd;
@@ -471,7 +471,7 @@ Status FileStoreNode::Commit(TxnId txn) {
 
 Status FileStoreNode::Abort(TxnId txn) {
   {
-    std::lock_guard<std::mutex> lock(staged_mu_);
+    MutexLock lock(staged_mu_);
     staged_.erase(txn);
   }
   FileStoreCommand cmd;

@@ -27,10 +27,10 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "src/common/hash.h"
 #include "src/common/load_gate.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/kv/kvstore.h"
 #include "src/net/simnet.h"
@@ -159,8 +159,9 @@ class FileStoreNode : public TxnParticipant {
   std::string name_;
   FileStoreOptions options_;
   std::unique_ptr<RaftGroup> group_;
-  mutable std::mutex staged_mu_;
-  std::map<TxnId, FileStoreCommand> staged_;
+  // Leaf: released before any raft proposal.
+  mutable Mutex staged_mu_{"filestore.staged", 61};
+  std::map<TxnId, FileStoreCommand> staged_ GUARDED_BY(staged_mu_);
   mutable LoadGate read_gate_;
   std::atomic<uint64_t> request_seq_{1};
 };

@@ -1,7 +1,6 @@
 #include "src/kv/kvstore.h"
 
 #include <algorithm>
-#include <cassert>
 #include <set>
 
 #include "src/common/encoding.h"
@@ -67,6 +66,7 @@ Status KvStore::Open() {
     auto batch = WriteBatch::Decode(dec.rest());
     if (!batch.ok()) return;
     uint64_t seq = first_seq;
+    WriterMutexLock vlock(version_mu_);
     for (const auto& op : batch->ops()) {
       active_->Add(op.key, op.value, seq, op.type);
       max_seq = std::max(max_seq, seq);
@@ -80,7 +80,7 @@ Status KvStore::Open() {
 
 Status KvStore::Write(const WriteBatch& batch, bool sync) {
   if (batch.empty()) return Status::Ok();
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   return WriteLocked(batch, sync);
 }
 
@@ -94,16 +94,20 @@ Status KvStore::WriteLocked(const WriteBatch& batch, bool sync) {
     if (!lsn.ok()) return lsn.status();
   }
   uint64_t seq = first_seq;
+  size_t active_bytes = 0;
   {
     // Apply under the version lock so structure swaps don't race.
-    std::shared_lock<std::shared_mutex> vlock(version_mu_);
+    ReaderMutexLock vlock(version_mu_);
     for (const auto& op : batch.ops()) {
       active_->Add(op.key, op.value, seq++, op.type);
     }
+    // Sample the flush trigger here: touching active_ after the lock drops
+    // would race a concurrent Flush() swapping the memtable out.
+    active_bytes = active_->ApproximateBytes();
   }
   seq_.store(seq - 1, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(stats_mu_);
     for (const auto& op : batch.ops()) {
       if (op.type == ValueType::kPut) {
         stats_.puts++;
@@ -112,7 +116,7 @@ Status KvStore::WriteLocked(const WriteBatch& batch, bool sync) {
       }
     }
   }
-  if (active_->ApproximateBytes() >= options_.memtable_flush_bytes) {
+  if (active_bytes >= options_.memtable_flush_bytes) {
     CFS_RETURN_IF_ERROR(Flush());
   }
   return Status::Ok();
@@ -133,10 +137,10 @@ Status KvStore::Delete(std::string_view key, bool sync) {
 StatusOr<std::string> KvStore::Get(std::string_view key,
                                    uint64_t snapshot_seq) const {
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(stats_mu_);
     stats_.gets++;
   }
-  std::shared_lock<std::shared_mutex> vlock(version_mu_);
+  ReaderMutexLock vlock(version_mu_);
   // Per key, source order equals recency order: active > immutables (newest
   // first) > runs (newest first).
   if (auto e = active_->Get(key, snapshot_seq)) {
@@ -166,10 +170,10 @@ std::vector<std::pair<std::string, std::string>> KvStore::Scan(
     std::string_view start, std::string_view end, size_t limit,
     uint64_t snapshot_seq) const {
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(stats_mu_);
     stats_.scans++;
   }
-  std::shared_lock<std::shared_mutex> vlock(version_mu_);
+  ReaderMutexLock vlock(version_mu_);
   // Merge newest-wins per key across all sources.
   std::map<std::string, KvEntry, std::less<>> merged;
   auto absorb = [&](const KvEntry& e) {
@@ -205,19 +209,19 @@ size_t KvStore::CountRange(std::string_view start, std::string_view end,
 
 uint64_t KvStore::GetSnapshot() {
   uint64_t seq = seq_.load(std::memory_order_acquire);
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(snapshot_mu_);
   snapshots_.insert(seq);
   return seq;
 }
 
 void KvStore::ReleaseSnapshot(uint64_t seq) {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(snapshot_mu_);
   auto it = snapshots_.find(seq);
   if (it != snapshots_.end()) snapshots_.erase(it);
 }
 
 uint64_t KvStore::OldestSnapshotLocked() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(snapshot_mu_);
   return snapshots_.empty() ? UINT64_MAX : *snapshots_.begin();
 }
 
@@ -226,7 +230,7 @@ Status KvStore::Flush() {
   // concurrent writers; seal the active memtable and convert it to a run.
   std::shared_ptr<MemTable> sealed;
   {
-    std::unique_lock<std::shared_mutex> vlock(version_mu_);
+    WriterMutexLock vlock(version_mu_);
     if (active_->EntryCount() == 0) return Status::Ok();
     sealed = active_;
     active_ = std::make_shared<MemTable>();
@@ -240,13 +244,13 @@ Status KvStore::Flush() {
   });
   auto run = std::make_shared<SortedRun>(std::move(entries));
   {
-    std::unique_lock<std::shared_mutex> vlock(version_mu_);
+    WriterMutexLock vlock(version_mu_);
     runs_.insert(runs_.begin(), run);  // newest first
     immutable_.erase(std::remove(immutable_.begin(), immutable_.end(), sealed),
                      immutable_.end());
   }
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(stats_mu_);
     stats_.flushes++;
   }
   MaybeCompactLocked();
@@ -256,7 +260,7 @@ Status KvStore::Flush() {
 void KvStore::MaybeCompactLocked() {
   size_t nruns;
   {
-    std::shared_lock<std::shared_mutex> vlock(version_mu_);
+    ReaderMutexLock vlock(version_mu_);
     nruns = runs_.size();
   }
   if (nruns > options_.max_runs_before_compaction) {
@@ -267,14 +271,14 @@ void KvStore::MaybeCompactLocked() {
 Status KvStore::Compact() {
   std::vector<std::shared_ptr<SortedRun>> to_merge;
   {
-    std::shared_lock<std::shared_mutex> vlock(version_mu_);
+    ReaderMutexLock vlock(version_mu_);
     to_merge = runs_;
   }
   if (to_merge.size() < 2) return Status::Ok();
   uint64_t keep_seq = OldestSnapshotLocked();
   auto merged = SortedRun::Merge(to_merge, keep_seq, /*drop_tombstones=*/true);
   {
-    std::unique_lock<std::shared_mutex> vlock(version_mu_);
+    WriterMutexLock vlock(version_mu_);
     // Preserve any runs flushed while we merged (they are newer; prepend).
     std::vector<std::shared_ptr<SortedRun>> remaining;
     for (const auto& r : runs_) {
@@ -286,15 +290,15 @@ Status KvStore::Compact() {
     runs_ = std::move(remaining);
   }
   {
-    std::lock_guard<std::mutex> slock(stats_mu_);
+    MutexLock slock(stats_mu_);
     stats_.compactions++;
   }
   return Status::Ok();
 }
 
 void KvStore::Clear() {
-  std::lock_guard<std::mutex> wlock(write_mu_);
-  std::unique_lock<std::shared_mutex> vlock(version_mu_);
+  MutexLock wlock(write_mu_);
+  WriterMutexLock vlock(version_mu_);
   active_ = std::make_shared<MemTable>();
   immutable_.clear();
   runs_.clear();
@@ -305,7 +309,7 @@ uint64_t KvStore::LastSequence() const {
 }
 
 KvStore::Stats KvStore::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 

@@ -12,15 +12,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/kv/memtable.h"
 #include "src/kv/sorted_run.h"
 #include "src/wal/wal.h"
@@ -112,24 +111,28 @@ class KvStore {
   Stats stats() const;
 
  private:
-  Status WriteLocked(const WriteBatch& batch, bool sync);
+  Status WriteLocked(const WriteBatch& batch, bool sync) REQUIRES(write_mu_);
   uint64_t OldestSnapshotLocked() const;
 
   KvOptions options_;
   Wal wal_;
 
-  mutable std::shared_mutex version_mu_;  // guards the structure lists
-  std::mutex write_mu_;                   // serializes writers
-  std::shared_ptr<MemTable> active_;
-  std::vector<std::shared_ptr<MemTable>> immutable_;
-  std::vector<std::shared_ptr<SortedRun>> runs_;  // newest first
+  // Writer lock is the outermost KV lock: held across the WAL append and
+  // the structure-list update, so it ranks below kv.version and wal.log.
+  Mutex write_mu_{"kv.write", 64};
+  // Guards the structure lists (active/immutable/runs pointers).
+  mutable SharedMutex version_mu_{"kv.version", 65};
+  std::shared_ptr<MemTable> active_ GUARDED_BY(version_mu_);
+  std::vector<std::shared_ptr<MemTable>> immutable_ GUARDED_BY(version_mu_);
+  // Newest first.
+  std::vector<std::shared_ptr<SortedRun>> runs_ GUARDED_BY(version_mu_);
 
   std::atomic<uint64_t> seq_{0};
-  mutable std::mutex snapshot_mu_;
-  std::multiset<uint64_t> snapshots_;
+  mutable Mutex snapshot_mu_{"kv.snapshot", 66};
+  std::multiset<uint64_t> snapshots_ GUARDED_BY(snapshot_mu_);
 
-  mutable std::mutex stats_mu_;
-  mutable Stats stats_;
+  mutable Mutex stats_mu_{"kv.stats", 67};
+  mutable Stats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace cfs

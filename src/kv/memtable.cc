@@ -1,9 +1,10 @@
 #include "src/kv/memtable.h"
 
-#include <cassert>
 #include <cstdlib>
 #include <new>
 #include <vector>
+
+#include "src/common/check.h"
 
 namespace cfs {
 
@@ -28,7 +29,7 @@ MemTable::~MemTable() {
 MemTable::Node* MemTable::NewNode(KvEntry entry, int height) {
   size_t size = sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1);
   void* mem = std::malloc(size);
-  assert(mem != nullptr);
+  CFS_CHECK(mem != nullptr);
   Node* node = static_cast<Node*>(mem);
   new (&node->entry) KvEntry(std::move(entry));
   node->height = height;

@@ -1,7 +1,6 @@
 #include "src/net/simnet.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "src/common/metrics.h"
 
@@ -41,9 +40,9 @@ SimNet::~SimNet() {
 }
 
 NodeId SimNet::AddNode(std::string name, uint32_t server) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t id = num_nodes_.load(std::memory_order_relaxed);
-  assert(id < kMaxNodes);
+  CFS_CHECK(id < kMaxNodes);
   nodes_[id].name = std::move(name);
   nodes_[id].server = server;
   nodes_[id].calls = std::make_unique<std::atomic<uint64_t>>(0);
@@ -54,12 +53,12 @@ NodeId SimNet::AddNode(std::string name, uint32_t server) {
 }
 
 uint32_t SimNet::ServerOf(NodeId node) const {
-  assert(node < num_nodes_.load(std::memory_order_acquire));
+  CFS_CHECK(node < num_nodes_.load(std::memory_order_acquire));
   return nodes_[node].server;
 }
 
 const std::string& SimNet::NameOf(NodeId node) const {
-  assert(node < num_nodes_.load(std::memory_order_acquire));
+  CFS_CHECK(node < num_nodes_.load(std::memory_order_acquire));
   return nodes_[node].name;
 }
 
@@ -68,7 +67,7 @@ size_t SimNet::NumNodes() const {
 }
 
 void SimNet::SetNodeDown(NodeId node, bool down) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (down) {
     down_nodes_.insert(node);
   } else {
@@ -79,7 +78,7 @@ void SimNet::SetNodeDown(NodeId node, bool down) {
 
 void SimNet::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
   auto key = std::minmax(a, b);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (partitioned) {
     partitions_.insert(key);
   } else {
@@ -89,7 +88,7 @@ void SimNet::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
 }
 
 void SimNet::HealAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   down_nodes_.clear();
   partitions_.clear();
   has_faults_.store(false);
@@ -97,7 +96,7 @@ void SimNet::HealAll() {
 
 Status SimNet::BeginCall(NodeId from, NodeId to) {
   if (has_faults_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (down_nodes_.count(to) != 0) {
       return Status::Unavailable("node down: " + nodes_[to].name);
     }
@@ -117,7 +116,7 @@ Status SimNet::BeginCall(NodeId from, NodeId to) {
   OpTrace::AddPhase(Phase::kRpc, injected_us);
   nodes_[to].calls->fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(edge_mu_);
+    MutexLock lock(edge_mu_);
     EdgeStat& edge = edges_[EdgeKey(from, to)];
     edge.calls++;
     edge.injected_us += injected_us;
@@ -131,7 +130,7 @@ size_t SimNet::Multicast(NodeId from, const std::vector<NodeId>& to,
   bool latency_injected = false;
   for (NodeId dest : to) {
     if (has_faults_.load(std::memory_order_acquire)) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (down_nodes_.count(dest) != 0 || down_nodes_.count(from) != 0 ||
           partitions_.count(std::minmax(from, dest)) != 0) {
         continue;
@@ -149,7 +148,7 @@ size_t SimNet::Multicast(NodeId from, const std::vector<NodeId>& to,
     OpTrace::AddPhase(Phase::kRpc, injected_us);
     nodes_[dest].calls->fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(edge_mu_);
+      MutexLock lock(edge_mu_);
       EdgeStat& edge = edges_[EdgeKey(from, dest)];
       edge.calls++;
       edge.injected_us += injected_us;
@@ -173,12 +172,12 @@ int64_t SimNet::InjectLatency(NodeId from, NodeId to) {
 }
 
 uint64_t SimNet::CallsTo(NodeId node) const {
-  assert(node < num_nodes_.load(std::memory_order_acquire));
+  CFS_CHECK(node < num_nodes_.load(std::memory_order_acquire));
   return nodes_[node].calls->load();
 }
 
 uint64_t SimNet::CallsBetween(NodeId from, NodeId to) const {
-  std::lock_guard<std::mutex> lock(edge_mu_);
+  MutexLock lock(edge_mu_);
   auto it = edges_.find(EdgeKey(from, to));
   return it == edges_.end() ? 0 : it->second.calls;
 }
@@ -189,7 +188,7 @@ int64_t SimNet::TotalInjectedLatencyUs() const {
 
 std::map<std::pair<NodeId, NodeId>, SimNet::EdgeStat> SimNet::EdgeStats()
     const {
-  std::lock_guard<std::mutex> lock(edge_mu_);
+  MutexLock lock(edge_mu_);
   std::map<std::pair<NodeId, NodeId>, EdgeStat> out;
   for (const auto& [key, stat] : edges_) {
     out[{static_cast<NodeId>(key >> 32), static_cast<NodeId>(key)}] = stat;
@@ -227,7 +226,7 @@ void SimNet::ResetStats() {
   for (size_t i = 0; i < n; i++) {
     nodes_[i].calls->store(0);
   }
-  std::lock_guard<std::mutex> edge_lock(edge_mu_);
+  MutexLock edge_lock(edge_mu_);
   edges_.clear();
 }
 

@@ -28,7 +28,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -37,6 +36,7 @@
 
 #include "src/common/random.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace cfs {
 
@@ -141,19 +141,21 @@ class SimNet {
   static constexpr size_t kMaxNodes = 4096;
 
   NetOptions options_;
-  mutable std::mutex mu_;  // serializes AddNode and guards fault sets
+  // Serializes AddNode and guards the fault sets. RPC handlers run with no
+  // SimNet lock held, so any service lock may be acquired "across" a call.
+  mutable Mutex mu_{"simnet.node", 80};
   std::unique_ptr<Node[]> nodes_;
   std::atomic<size_t> num_nodes_{0};
-  std::set<NodeId> down_nodes_;
-  std::set<std::pair<NodeId, NodeId>> partitions_;
+  std::set<NodeId> down_nodes_ GUARDED_BY(mu_);
+  std::set<std::pair<NodeId, NodeId>> partitions_ GUARDED_BY(mu_);
   std::atomic<bool> has_faults_{false};
   std::atomic<uint64_t> total_calls_{0};
   std::atomic<int64_t> total_injected_us_{0};
   // Edge table, keyed (from << 32) | to. Guarded separately from mu_ so
   // edge updates never serialize against fault-set reads; never acquire
-  // another lock while holding edge_mu_.
-  mutable std::mutex edge_mu_;
-  std::map<uint64_t, EdgeStat> edges_;
+  // another lock while holding edge_mu_ (it is a leaf, rank-enforced).
+  mutable Mutex edge_mu_{"simnet.edge", 81};
+  std::map<uint64_t, EdgeStat> edges_ GUARDED_BY(edge_mu_);
   uint64_t probe_handle_ = 0;
 };
 

@@ -1,7 +1,6 @@
 #include "src/raft/raft.h"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 
 #include "src/common/encoding.h"
@@ -63,12 +62,12 @@ RaftNode::RaftNode(ReplicaId id, NodeId net_id, SimNet* net, StateMachine* sm,
 RaftNode::~RaftNode() { Stop(); }
 
 void RaftNode::SetStateMachine(StateMachine* sm) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sm_ = sm;
 }
 
 void RaftNode::SetPeers(std::vector<RaftPeer> peers) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   peers_ = std::move(peers);
   next_index_.assign(peers_.size(), 1);
   match_index_.assign(peers_.size(), 0);
@@ -76,7 +75,7 @@ void RaftNode::SetPeers(std::vector<RaftPeer> peers) {
 }
 
 Status RaftNode::Start() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (running_.load()) return Status::Ok();
   CFS_RETURN_IF_ERROR(wal_.Open());
   // Recover persistent state.
@@ -158,7 +157,6 @@ Status RaftNode::Start() {
   running_.store(true);
   replicators_should_run_ = true;
   StartReplicatorsLocked();
-  lock.unlock();
   CFS_LOG(kDebug) << "raft " << id_ << " started, term=" << term_
                   << " log=" << log_.size();
   return Status::Ok();
@@ -166,15 +164,15 @@ Status RaftNode::Start() {
 
 void RaftNode::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_.load()) return;
     running_.store(false);
     replicators_should_run_ = false;
     role_ = RaftRole::kFollower;
     FailPendingLocked(Status::Unavailable("raft node stopped"));
   }
-  repl_cv_.notify_all();
-  apply_cv_.notify_all();
+  repl_cv_.NotifyAll();
+  apply_cv_.NotifyAll();
   StopReplicators();
 }
 
@@ -240,7 +238,7 @@ void RaftNode::BecomeLeaderLocked() {
   log_.push_back(LogEntry{term_, ""});
   term_start_index_ = LastIndexLocked();
   CFS_LOG(kDebug) << "raft " << id_ << " became leader term=" << term_;
-  repl_cv_.notify_all();
+  repl_cv_.NotifyAll();
 }
 
 void RaftNode::FailPendingLocked(const Status& status) {
@@ -254,7 +252,7 @@ std::future<StatusOr<std::string>> RaftNode::Propose(std::string command) {
   std::promise<StatusOr<std::string>> promise;
   auto future = promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_.load() || role_ != RaftRole::kLeader) {
       promise.set_value(Status::NotLeader());
       return future;
@@ -263,13 +261,13 @@ std::future<StatusOr<std::string>> RaftNode::Propose(std::string command) {
     LogIndex index = LastIndexLocked();
     pending_[index].promise = std::move(promise);
   }
-  repl_cv_.notify_all();
+  repl_cv_.NotifyAll();
   return future;
 }
 
 std::vector<std::pair<LogIndex, std::string>> RaftNode::ReadCommittedSince(
     LogIndex from, size_t max) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<LogIndex, std::string>> out;
   // Entries covered by a snapshot are gone; a consumer whose cursor is
   // older than the snapshot resumes at the snapshot boundary (deployments
@@ -284,20 +282,20 @@ std::vector<std::pair<LogIndex, std::string>> RaftNode::ReadCommittedSince(
 }
 
 Status RaftNode::ReadBarrier(int64_t timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (role_ != RaftRole::kLeader) return Status::NotLeader();
   LogIndex target = std::max(commit_index_, term_start_index_);
   Term barrier_term = term_;
-  bool ok = apply_cv_.wait_for(
-      lock, std::chrono::milliseconds(timeout_ms), [&] {
-        return !running_.load() || term_ != barrier_term ||
-               role_ != RaftRole::kLeader || applied_index_ >= target;
-      });
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (running_.load() && term_ == barrier_term &&
+         role_ == RaftRole::kLeader && applied_index_ < target) {
+    if (!apply_cv_.WaitUntil(mu_, deadline)) break;  // timed out
+  }
   if (!running_.load()) return Status::Unavailable("stopped");
   if (term_ != barrier_term || role_ != RaftRole::kLeader) {
     return Status::NotLeader("demoted during read barrier");
   }
-  if (!ok) return Status::Timeout("read barrier");
   return applied_index_ >= target ? Status::Ok()
                                   : Status::Timeout("read barrier");
 }
@@ -308,7 +306,7 @@ void RaftNode::PersistEntriesUpTo(LogIndex index) {
   // cost itself is paid outside mu_ so concurrent handlers are not blocked.
   std::vector<std::pair<LogIndex, LogEntry>> to_persist;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (index <= durable_index_) return;
     for (LogIndex i = std::max(durable_index_, snapshot_index_) + 1;
          i <= index && i <= LastIndexLocked(); i++) {
@@ -325,18 +323,24 @@ void RaftNode::PersistEntriesUpTo(LogIndex index) {
 }
 
 void RaftNode::ReplicatorLoop(size_t peer_index) {
-  const RaftPeer& peer = peers_[peer_index];
+  RaftPeer peer;
+  {
+    MutexLock lock(mu_);
+    peer = peers_[peer_index];
+  }
   for (;;) {
     AppendRequest req;
     LogIndex sending_up_to = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      auto heartbeat = std::chrono::milliseconds(options_.heartbeat_interval_ms);
-      repl_cv_.wait_for(lock, heartbeat, [&] {
-        return !replicators_should_run_ ||
-               (role_ == RaftRole::kLeader &&
-                LastIndexLocked() >= next_index_[peer_index]);
-      });
+      MutexLock lock(mu_);
+      auto heartbeat_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(options_.heartbeat_interval_ms);
+      while (replicators_should_run_ &&
+             !(role_ == RaftRole::kLeader &&
+               LastIndexLocked() >= next_index_[peer_index])) {
+        if (!repl_cv_.WaitUntil(mu_, heartbeat_deadline)) break;  // heartbeat
+      }
       if (!replicators_should_run_) return;
       if (role_ != RaftRole::kLeader) continue;
 
@@ -357,7 +361,7 @@ void RaftNode::ReplicatorLoop(size_t peer_index) {
         snap.last_included_index = snapshot_index_;
         snap.last_included_term = snapshot_term_;
         snap.state = last_snapshot_state_;
-        lock.unlock();
+        lock.Unlock();
         SnapshotReply snap_reply;
         Status delivered = net_->BeginCall(net_id_, peer.net);
         if (delivered.ok()) {
@@ -366,7 +370,7 @@ void RaftNode::ReplicatorLoop(size_t peer_index) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
           continue;
         }
-        lock.lock();
+        lock.Lock();
         if (!replicators_should_run_ || role_ != RaftRole::kLeader ||
             term_ != snap.term) {
           continue;
@@ -414,7 +418,7 @@ void RaftNode::ReplicatorLoop(size_t peer_index) {
       continue;
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!replicators_should_run_ || role_ != RaftRole::kLeader ||
         term_ != req.term) {
       continue;
@@ -465,7 +469,7 @@ void RaftNode::ApplyCommittedLocked() {
       pending_.erase(it);
     }
   }
-  apply_cv_.notify_all();
+  apply_cv_.NotifyAll();
   MaybeSnapshotLocked();
 }
 
@@ -487,7 +491,7 @@ void RaftNode::MaybeSnapshotLocked() {
 }
 
 VoteReply RaftNode::HandleRequestVote(const VoteRequest& req) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   VoteReply reply;
   if (!running_.load()) {
     reply.term = term_;
@@ -512,7 +516,7 @@ VoteReply RaftNode::HandleRequestVote(const VoteRequest& req) {
 }
 
 AppendReply RaftNode::HandleAppendEntries(const AppendRequest& req) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AppendReply reply;
   reply.term = term_;
   if (!running_.load()) return reply;
@@ -579,7 +583,7 @@ AppendReply RaftNode::HandleAppendEntries(const AppendRequest& req) {
 }
 
 SnapshotReply RaftNode::HandleInstallSnapshot(const SnapshotRequest& req) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SnapshotReply reply;
   reply.term = term_;
   if (!running_.load() || req.term < term_) return reply;
@@ -613,7 +617,7 @@ SnapshotReply RaftNode::HandleInstallSnapshot(const SnapshotRequest& req) {
   (void)wal_.Append(
       EncodeSnapshot(snapshot_index_, snapshot_term_, req.state),
       /*sync=*/true);
-  apply_cv_.notify_all();
+  apply_cv_.NotifyAll();
   reply.success = true;
   return reply;
 }
@@ -632,7 +636,7 @@ void RaftNode::TruncateFromLocked(LogIndex from) {
 void RaftNode::Tick() {
   bool should_elect = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_.load() || role_ == RaftRole::kLeader) return;
     if (clock_->NowNanos() >= election_deadline_) {
       should_elect = true;
@@ -645,7 +649,7 @@ void RaftNode::StartElection() {
   VoteRequest req;
   std::vector<RaftPeer> peers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_.load() || role_ == RaftRole::kLeader) return;
     role_ = RaftRole::kCandidate;
     term_++;
@@ -665,7 +669,7 @@ void RaftNode::StartElection() {
     Status delivered = net_->BeginCall(net_id_, peer.net);
     if (!delivered.ok()) continue;
     VoteReply reply = peer.node->HandleRequestVote(req);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (reply.term > term_) {
       BecomeFollowerLocked(reply.term, /*persist=*/true);
       return;
@@ -680,37 +684,37 @@ void RaftNode::StartElection() {
 }
 
 bool RaftNode::IsLeader() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return running_.load() && role_ == RaftRole::kLeader;
 }
 
 RaftRole RaftNode::role() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return role_;
 }
 
 Term RaftNode::CurrentTerm() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return term_;
 }
 
 LogIndex RaftNode::CommitIndex() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return commit_index_;
 }
 
 LogIndex RaftNode::LastLogIndex() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return LastIndexLocked();
 }
 
 LogIndex RaftNode::SnapshotIndex() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshot_index_;
 }
 
 ReplicaId RaftNode::LeaderHint() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return leader_hint_;
 }
 

@@ -27,13 +27,11 @@
 #ifndef CFS_RAFT_RAFT_H_
 #define CFS_RAFT_RAFT_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +39,7 @@
 #include "src/common/clock.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/net/simnet.h"
 #include "src/wal/wal.h"
 
@@ -208,29 +207,31 @@ class RaftNode {
   };
 
   // --- all Locked methods require mu_ held ---
-  void BecomeFollowerLocked(Term term, bool persist);
-  void BecomeLeaderLocked();
-  void ResetElectionDeadlineLocked();
-  Term LastLogTermLocked() const;
-  void PersistVoteLocked();
-  void ApplyCommittedLocked();
-  void FailPendingLocked(const Status& status);
-  void AdvanceCommitLocked();
-  void TruncateFromLocked(LogIndex from);
+  void BecomeFollowerLocked(Term term, bool persist) REQUIRES(mu_);
+  void BecomeLeaderLocked() REQUIRES(mu_);
+  void ResetElectionDeadlineLocked() REQUIRES(mu_);
+  Term LastLogTermLocked() const REQUIRES(mu_);
+  void PersistVoteLocked() REQUIRES(mu_);
+  void ApplyCommittedLocked() REQUIRES(mu_);
+  void FailPendingLocked(const Status& status) REQUIRES(mu_);
+  void AdvanceCommitLocked() REQUIRES(mu_);
+  void TruncateFromLocked(LogIndex from) REQUIRES(mu_);
 
   void StartElection();
   void ReplicatorLoop(size_t peer_index);
   // --- log-offset helpers (compaction); require mu_ held ---
-  LogIndex LastIndexLocked() const { return snapshot_index_ + log_.size(); }
-  const LogEntry& EntryAtLocked(LogIndex index) const {
+  LogIndex LastIndexLocked() const REQUIRES(mu_) {
+    return snapshot_index_ + log_.size();
+  }
+  const LogEntry& EntryAtLocked(LogIndex index) const REQUIRES(mu_) {
     return log_[index - snapshot_index_ - 1];
   }
-  Term TermAtLocked(LogIndex index) const {
+  Term TermAtLocked(LogIndex index) const REQUIRES(mu_) {
     if (index == snapshot_index_) return snapshot_term_;
     return EntryAtLocked(index).term;
   }
-  void MaybeSnapshotLocked();
-  void StartReplicatorsLocked();
+  void MaybeSnapshotLocked() REQUIRES(mu_);
+  void StartReplicatorsLocked() REQUIRES(mu_);
   void StopReplicators();
   // Appends not-yet-durable entries to the WAL with one sync (group commit).
   void PersistEntriesUpTo(LogIndex index);
@@ -244,33 +245,44 @@ class RaftNode {
   Wal wal_;
   Rng rng_;
 
-  mutable std::mutex mu_;
-  std::condition_variable repl_cv_;
-  std::condition_variable apply_cv_;
+  // Held across sm_->Apply (which may take shard/kv/wal locks) and across
+  // WAL persists, so raft.node ranks below all of those; never held across
+  // a peer RPC (replicators and elections drop it around BeginCall).
+  mutable Mutex mu_{"raft.node", 60};
+  CondVar repl_cv_;
+  CondVar apply_cv_;
 
-  RaftRole role_ = RaftRole::kFollower;
-  Term term_ = 0;
-  ReplicaId voted_for_ = UINT32_MAX;
-  ReplicaId leader_hint_ = UINT32_MAX;
-  std::vector<LogEntry> log_;  // log_[i] has index snapshot_index_ + i + 1
-  LogIndex snapshot_index_ = 0;  // everything <= this lives in the snapshot
-  Term snapshot_term_ = 0;
-  std::string last_snapshot_state_;  // shipped to lagging followers
-  LogIndex commit_index_ = 0;
-  LogIndex applied_index_ = 0;
-  LogIndex term_start_index_ = 0;  // index of this leader's no-op barrier
-  LogIndex durable_index_ = 0;  // entries persisted to WAL
-  MonoNanos election_deadline_ = 0;
+  RaftRole role_ GUARDED_BY(mu_) = RaftRole::kFollower;
+  Term term_ GUARDED_BY(mu_) = 0;
+  ReplicaId voted_for_ GUARDED_BY(mu_) = UINT32_MAX;
+  ReplicaId leader_hint_ GUARDED_BY(mu_) = UINT32_MAX;
+  // log_[i] has index snapshot_index_ + i + 1.
+  std::vector<LogEntry> log_ GUARDED_BY(mu_);
+  // Everything <= snapshot_index_ lives in the snapshot.
+  LogIndex snapshot_index_ GUARDED_BY(mu_) = 0;
+  Term snapshot_term_ GUARDED_BY(mu_) = 0;
+  // Shipped to lagging followers.
+  std::string last_snapshot_state_ GUARDED_BY(mu_);
+  LogIndex commit_index_ GUARDED_BY(mu_) = 0;
+  LogIndex applied_index_ GUARDED_BY(mu_) = 0;
+  // Index of this leader's no-op barrier.
+  LogIndex term_start_index_ GUARDED_BY(mu_) = 0;
+  // Entries persisted to WAL.
+  LogIndex durable_index_ GUARDED_BY(mu_) = 0;
+  MonoNanos election_deadline_ GUARDED_BY(mu_) = 0;
 
-  std::vector<RaftPeer> peers_;
-  std::vector<LogIndex> next_index_;   // per peer
-  std::vector<LogIndex> match_index_;  // per peer
-  std::vector<MonoNanos> last_send_;   // per peer, for heartbeats
+  std::vector<RaftPeer> peers_ GUARDED_BY(mu_);
+  std::vector<LogIndex> next_index_ GUARDED_BY(mu_);   // per peer
+  std::vector<LogIndex> match_index_ GUARDED_BY(mu_);  // per peer
+  std::vector<MonoNanos> last_send_ GUARDED_BY(mu_);   // per peer heartbeats
 
-  std::map<LogIndex, Pending> pending_;
+  std::map<LogIndex, Pending> pending_ GUARDED_BY(mu_);
 
+  // Started under mu_; joined (StopReplicators) only after
+  // replicators_should_run_ goes false, from the single Stop() caller —
+  // joining under mu_ would deadlock against loops that take it.
   std::vector<std::thread> replicators_;
-  bool replicators_should_run_ = false;
+  bool replicators_should_run_ GUARDED_BY(mu_) = false;
   std::atomic<bool> running_{false};
 };
 

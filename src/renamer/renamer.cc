@@ -175,7 +175,7 @@ Status Renamer::Rename(const RenameRequest& req) {
     auto loop = IsAncestorOf(src->id, req.dst_parent);
     if (!loop.ok()) return loop.status();
     if (*loop) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       stats_.loops_detected++;
       return Status::InvalidArgument("rename would orphan a directory loop");
     }
@@ -335,7 +335,7 @@ Status Renamer::Rename(const RenameRequest& req) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     if (commit_status.ok()) {
       stats_.committed++;
     } else {
@@ -374,7 +374,7 @@ Status Renamer::Rename(const RenameRequest& req) {
   //    old location until their parents' epoch views aged out.
   if (broadcast_) {
     broadcast_(inv);
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.invalidations_broadcast++;
   }
 
@@ -388,7 +388,7 @@ Status Renamer::Rename(const RenameRequest& req) {
 }
 
 Renamer::Stats Renamer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 

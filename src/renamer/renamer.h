@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 #include "src/filestore/filestore.h"
 #include "src/net/simnet.h"
 #include "src/raft/raft.h"
@@ -128,8 +130,9 @@ class Renamer {
   std::atomic<TxnId> next_txn_{1};
   std::function<void(const CacheInvalidation&)> broadcast_;
 
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  // Stats-only leaf.
+  mutable Mutex stats_mu_{"renamer.stats", 85};
+  Stats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace cfs

@@ -279,13 +279,13 @@ StatusOr<std::vector<InodeRecord>> TafDbShard::ScanDir(
 }
 
 uint64_t TafDbShard::DirEpoch(InodeId dir) const {
-  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  ReaderMutexLock lock(epoch_mu_);
   auto it = dir_epochs_.find(dir);
   return it == dir_epochs_.end() ? 0 : it->second;
 }
 
 uint64_t TafDbShard::BumpDirEpoch(InodeId dir) {
-  std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+  WriterMutexLock lock(epoch_mu_);
   return ++dir_epochs_[dir];
 }
 
@@ -296,7 +296,7 @@ PrimitiveResult TafDbShard::CommitLocal(const PrimitiveOp& write_set) {
 }
 
 Status TafDbShard::Stage(TxnId txn, PrimitiveOp write_set) {
-  std::lock_guard<std::mutex> lock(staged_mu_);
+  MutexLock lock(staged_mu_);
   staged_[txn] = std::move(write_set);
   return Status::Ok();
 }
@@ -305,7 +305,7 @@ Status TafDbShard::Prepare(TxnId txn) {
   Metrics().prepares->Add();
   PrimitiveOp op;
   {
-    std::lock_guard<std::mutex> lock(staged_mu_);
+    MutexLock lock(staged_mu_);
     auto it = staged_.find(txn);
     if (it == staged_.end()) return Status::NotFound("nothing staged");
     op = it->second;
@@ -326,7 +326,7 @@ Status TafDbShard::Prepare(TxnId txn) {
 Status TafDbShard::Commit(TxnId txn) {
   Metrics().txn_commits->Add();
   {
-    std::lock_guard<std::mutex> lock(staged_mu_);
+    MutexLock lock(staged_mu_);
     staged_.erase(txn);
   }
   TxnWriteProcessingGate();
@@ -345,7 +345,7 @@ Status TafDbShard::Abort(TxnId txn) {
   Metrics().aborts->Add();
   bool had_staged;
   {
-    std::lock_guard<std::mutex> lock(staged_mu_);
+    MutexLock lock(staged_mu_);
     had_staged = staged_.erase(txn) > 0;
   }
   ShardCommand cmd;

@@ -21,13 +21,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/load_gate.h"
+#include "src/common/thread_annotations.h"
 #include "src/kv/kvstore.h"
 #include "src/net/simnet.h"
 #include "src/raft/raft.h"
@@ -169,13 +168,15 @@ class TafDbShard : public TxnParticipant {
   LoadGate read_gate_;
   LoadGate txn_write_gate_;
   LockManager locks_;
-  std::mutex staged_mu_;
-  std::map<TxnId, PrimitiveOp> staged_;  // service-side buffer pre-Prepare
+  // Leaf: released before any raft proposal.
+  Mutex staged_mu_{"tafdb.staged", 62};
+  // Service-side buffer pre-Prepare.
+  std::map<TxnId, PrimitiveOp> staged_ GUARDED_BY(staged_mu_);
   std::atomic<uint64_t> request_seq_{1};
   // Directory epochs: read-mostly (every cache-miss read consults one),
-  // written only by namespace mutations.
-  mutable std::shared_mutex epoch_mu_;
-  std::unordered_map<InodeId, uint64_t> dir_epochs_;
+  // written only by namespace mutations. Leaf.
+  mutable SharedMutex epoch_mu_{"tafdb.epoch", 63};
+  std::unordered_map<InodeId, uint64_t> dir_epochs_ GUARDED_BY(epoch_mu_);
 };
 
 }  // namespace cfs

@@ -1,7 +1,6 @@
 #include "src/txn/lock_manager.h"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 
 #include "src/common/metrics.h"
@@ -69,7 +68,7 @@ bool LockManager::CanGrantLocked(const Entry& e, TxnId txn, LockMode mode,
 Status LockManager::Lock(TxnId txn, std::string_view key, LockMode mode,
                          int64_t timeout_us) {
   if (timeout_us < 0) timeout_us = options_.default_timeout_us;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& entry = table_[std::string(key)];
 
   // Fast path.
@@ -100,7 +99,7 @@ Status LockManager::Lock(TxnId txn, std::string_view key, LockMode mode,
       granted = true;
       break;
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (!cv_.WaitUntil(mu_, deadline)) {
       auto& e2 = table_[std::string(key)];
       if (CanGrantLocked(e2, txn, mode, ticket)) {
         granted = true;
@@ -118,7 +117,7 @@ Status LockManager::Lock(TxnId txn, std::string_view key, LockMode mode,
       Metrics().timeouts->Add();
       Metrics().wait_us->Add(static_cast<uint64_t>(waited));
       Metrics().waiters->Add(-1);
-      cv_.notify_all();
+      cv_.NotifyAll();
       return Status::Timeout("lock timeout on " + std::string(key));
     }
   }
@@ -140,7 +139,7 @@ Status LockManager::Lock(TxnId txn, std::string_view key, LockMode mode,
   Metrics().wait_us->Add(static_cast<uint64_t>(waited));
   Metrics().waiters->Add(-1);
   // Our grant may unblock compatible readers queued behind us.
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::Ok();
 }
 
@@ -163,7 +162,7 @@ Status LockManager::LockAll(TxnId txn, std::vector<std::string> keys,
 }
 
 void LockManager::Unlock(TxnId txn, std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = table_.find(key);
   if (it == table_.end()) return;
   it->second.holders.erase(txn);
@@ -175,11 +174,11 @@ void LockManager::Unlock(TxnId txn, std::string_view key) {
   if (it->second.holders.empty() && it->second.queue.empty()) {
     table_.erase(it);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void LockManager::UnlockAll(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto hit = held_.find(txn);
   if (hit == held_.end()) return;
   for (const auto& key : hit->second) {
@@ -191,17 +190,17 @@ void LockManager::UnlockAll(TxnId txn) {
     }
   }
   held_.erase(hit);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool LockManager::IsLocked(std::string_view key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = table_.find(key);
   return it != table_.end() && !it->second.holders.empty();
 }
 
 size_t LockManager::HeldCount(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = held_.find(txn);
   return it == held_.end() ? 0 : it->second.size();
 }
@@ -218,7 +217,7 @@ void LockManager::AddThreadWait(int64_t micros) {
 }
 
 LockManager::Stats LockManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

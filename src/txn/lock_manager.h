@@ -10,11 +10,9 @@
 #ifndef CFS_TXN_LOCK_MANAGER_H_
 #define CFS_TXN_LOCK_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
@@ -22,6 +20,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace cfs {
 
@@ -90,16 +89,19 @@ class LockManager {
   // True if `txn` can be granted `mode` on `e` right now, honoring FIFO
   // (no grant past earlier waiters unless already compatible holder).
   bool CanGrantLocked(const Entry& e, TxnId txn, LockMode mode,
-                      uint64_t ticket) const;
+                      uint64_t ticket) const REQUIRES(mu_);
 
   LockManagerOptions options_;
   const Clock* clock_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, Entry, std::less<>> table_;
-  std::map<TxnId, std::set<std::string>> held_;
-  uint64_t next_ticket_ = 1;
-  Stats stats_;
+  // Per-manager table lock. Held only for table bookkeeping — blocked
+  // acquisitions wait on cv_ with mu_ released, and no other cfs lock is
+  // ever taken underneath it (Metrics() instruments are cached pointers).
+  mutable Mutex mu_{"lockmgr.shard", 50};
+  CondVar cv_;
+  std::map<std::string, Entry, std::less<>> table_ GUARDED_BY(mu_);
+  std::map<TxnId, std::set<std::string>> held_ GUARDED_BY(mu_);
+  uint64_t next_ticket_ GUARDED_BY(mu_) = 1;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace cfs

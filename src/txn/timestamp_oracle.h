@@ -9,8 +9,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
+#include "src/common/thread_annotations.h"
 #include "src/net/simnet.h"
 
 namespace cfs {
@@ -56,7 +56,7 @@ class TimestampCache {
       : net_(net), self_(self), oracle_(oracle), batch_(batch) {}
 
   uint64_t Next() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (next_value_ >= limit_) {
       uint64_t first = 0;
       Status st = net_->Call(self_, oracle_->net_id(), [&]() -> Status {
@@ -79,9 +79,10 @@ class TimestampCache {
   NodeId self_;
   TimestampOracle* oracle_;
   uint64_t batch_;
-  std::mutex mu_;
-  uint64_t next_value_ = 0;
-  uint64_t limit_ = 0;
+  // Held across the refill RPC (ranked below every SimNet lock).
+  Mutex mu_{"txn.tscache", 30};
+  uint64_t next_value_ GUARDED_BY(mu_) = 0;
+  uint64_t limit_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cfs

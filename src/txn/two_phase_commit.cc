@@ -70,7 +70,7 @@ Status TwoPhaseCommit::Run(NodeId coordinator,
     votes = fan_out([txn](TxnParticipant* p) { return p->Prepare(txn); });
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.prepare_rpcs += unique.size();
   }
   Metrics().prepare_rpcs->Add(unique.size());
@@ -85,7 +85,7 @@ Status TwoPhaseCommit::Run(NodeId coordinator,
       (void)fan_out([txn](TxnParticipant* p) { return p->Commit(txn); });
     }
     Metrics().committed->Add();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.decision_rpcs += unique.size();
     stats_.committed++;
     return Status::Ok();
@@ -96,7 +96,7 @@ Status TwoPhaseCommit::Run(NodeId coordinator,
   }
   Metrics().aborted->Add();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.decision_rpcs += unique.size();
     stats_.aborted++;
   }
@@ -104,7 +104,7 @@ Status TwoPhaseCommit::Run(NodeId coordinator,
 }
 
 TwoPcStats TwoPhaseCommit::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/net/simnet.h"
 #include "src/txn/lock_manager.h"
 
@@ -52,8 +53,9 @@ class TwoPhaseCommit {
 
  private:
   SimNet* net_;
-  mutable std::mutex mu_;
-  TwoPcStats stats_;
+  // Stats-only leaf; never held across an RPC.
+  mutable Mutex mu_{"twopc.stats", 86};
+  TwoPcStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace cfs

@@ -33,13 +33,14 @@ WalMetrics& Metrics() {
 Wal::Wal(WalOptions options) : options_(std::move(options)) {}
 
 Wal::~Wal() {
+  MutexLock lock(mu_);
   if (file_ != nullptr) {
     std::fclose(file_);
   }
 }
 
 Status Wal::Open() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (options_.path.empty()) return Status::Ok();
   file_ = std::fopen(options_.path.c_str(), "ab+");
   if (file_ == nullptr) {
@@ -51,7 +52,7 @@ Status Wal::Open() {
 StatusOr<uint64_t> Wal::Append(std::string_view record, bool sync) {
   uint64_t lsn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     lsn = next_lsn_++;
     window_.emplace_back(record);
     while (window_.size() > options_.memory_window) {
@@ -92,13 +93,13 @@ Status Wal::AppendToFileLocked(std::string_view record) {
 
 Status Wal::Replay(
     const std::function<void(uint64_t lsn, std::string_view record)>& fn) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ == nullptr) {
     // Memory-only: replay the window.
     uint64_t lsn = window_base_;
     // Copy out so fn may call back into this WAL.
     std::vector<std::string> records(window_.begin(), window_.end());
-    lock.unlock();
+    lock.Unlock();
     for (const auto& r : records) {
       fn(lsn++, r);
     }
@@ -116,7 +117,7 @@ Status Wal::Replay(
     return Status::IoError("wal read failed");
   }
   std::fseek(file_, 0, SEEK_END);
-  lock.unlock();
+  lock.Unlock();
 
   Decoder dec(buf);
   uint64_t lsn = 0;
@@ -139,7 +140,7 @@ Status Wal::Replay(
 
 std::vector<std::pair<uint64_t, std::string>> Wal::ReadFrom(
     uint64_t from_lsn, size_t max) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<uint64_t, std::string>> out;
   if (from_lsn < window_base_) from_lsn = window_base_;
   for (uint64_t lsn = from_lsn; lsn < next_lsn_ && out.size() < max; lsn++) {
@@ -149,17 +150,17 @@ std::vector<std::pair<uint64_t, std::string>> Wal::ReadFrom(
 }
 
 uint64_t Wal::FirstLsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return window_base_;
 }
 
 uint64_t Wal::NextLsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_lsn_;
 }
 
 void Wal::TruncatePrefix(uint64_t up_to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (window_base_ < up_to && !window_.empty()) {
     window_.pop_front();
     window_base_++;
@@ -167,7 +168,7 @@ void Wal::TruncatePrefix(uint64_t up_to) {
 }
 
 Status Wal::CorruptTailForTest(size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ == nullptr) return Status::InvalidArgument("memory-only wal");
   std::fflush(file_);
   std::fseek(file_, 0, SEEK_END);

@@ -20,12 +20,12 @@
 #include <cstdio>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace cfs {
 
@@ -79,18 +79,24 @@ class Wal {
   // write; subsequent Replay must stop cleanly before the torn frame.
   Status CorruptTailForTest(size_t bytes);
 
-  uint64_t synced_appends() const { return synced_appends_; }
+  uint64_t synced_appends() const {
+    MutexLock lock(mu_);
+    return synced_appends_;
+  }
 
  private:
-  Status AppendToFileLocked(std::string_view record);
+  Status AppendToFileLocked(std::string_view record) REQUIRES(mu_);
 
   WalOptions options_;
-  mutable std::mutex mu_;
-  std::deque<std::string> window_;
-  uint64_t window_base_ = 0;  // LSN of window_.front()
-  uint64_t next_lsn_ = 0;
-  std::FILE* file_ = nullptr;
-  uint64_t synced_appends_ = 0;
+  // Leaf within the write path: raft/kv append while holding their own
+  // locks, so wal.log ranks above them; the simulated fsync sleep happens
+  // with mu_ released.
+  mutable Mutex mu_{"wal.log", 70};
+  std::deque<std::string> window_ GUARDED_BY(mu_);
+  uint64_t window_base_ GUARDED_BY(mu_) = 0;  // LSN of window_.front()
+  uint64_t next_lsn_ GUARDED_BY(mu_) = 0;
+  std::FILE* file_ GUARDED_BY(mu_) = nullptr;
+  uint64_t synced_appends_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cfs

@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <cmath>
-#include <mutex>
 #include <thread>
 
 #include "src/common/clock.h"
+#include "src/common/thread_annotations.h"
 
 namespace cfs {
 
@@ -139,7 +139,7 @@ Status TraceReplayer::Prepare(MetadataClient* setup_client,
   // Populate files (with initial content drawn from the file-size CDF,
   // capped so single-machine replay stays bounded).
   std::atomic<bool> failed{false};
-  std::mutex fail_mu;
+  Mutex fail_mu{"workload.fail", 91};
   Status first_failure;
   std::vector<std::thread> threads;
   size_t total = config_.num_dirs * config_.files_per_dir;
@@ -155,7 +155,7 @@ Status TraceReplayer::Prepare(MetadataClient* setup_client,
         std::string path = FilePath(d, f);
         Status st = populate_clients[t]->Create(path, 0644);
         if (!st.ok() && !st.IsAlreadyExists()) {
-          std::lock_guard<std::mutex> lock(fail_mu);
+          MutexLock lock(fail_mu);
           first_failure = st;
           failed.store(true);
           return;
@@ -165,7 +165,7 @@ Status TraceReplayer::Prepare(MetadataClient* setup_client,
             std::min<uint64_t>(size, config_.io_cap_bytes), 'x');
         Status wst = populate_clients[t]->Write(path, 0, payload);
         if (!wst.ok()) {
-          std::lock_guard<std::mutex> lock(fail_mu);
+          MutexLock lock(fail_mu);
           first_failure = wst;
           failed.store(true);
           return;

@@ -1,10 +1,10 @@
 #include "src/workload/workload.h"
 
 #include <chrono>
-#include <mutex>
 #include <thread>
 
 #include "src/common/clock.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 
 namespace cfs {
@@ -46,7 +46,7 @@ RunResult WorkloadRunner::Run(const OpFn& op, int64_t duration_ms,
   std::atomic<uint64_t> total_ops{0};
   std::atomic<uint64_t> total_errors{0};
   StripedHistogram latency(std::max<size_t>(clients_.size(), 1));
-  std::mutex phases_mu;
+  Mutex phases_mu{"workload.phases", 90};
   PhaseBreakdown phases;
 
   std::vector<std::thread> threads;
@@ -71,7 +71,7 @@ RunResult WorkloadRunner::Run(const OpFn& op, int64_t duration_ms,
       }
       total_ops.fetch_add(ops);
       total_errors.fetch_add(errors);
-      std::lock_guard<std::mutex> lock(phases_mu);
+      MutexLock lock(phases_mu);
       phases.Merge(local);
     });
   }
@@ -104,7 +104,7 @@ RunResult WorkloadRunner::Run(const OpFn& op, int64_t duration_ms,
 RunResult WorkloadRunner::RunCount(const OpFn& op, uint64_t ops_per_thread) {
   std::atomic<uint64_t> total_errors{0};
   StripedHistogram latency(std::max<size_t>(clients_.size(), 1));
-  std::mutex phases_mu;
+  Mutex phases_mu{"workload.phases", 90};
   PhaseBreakdown phases;
   Stopwatch window;
   std::vector<std::thread> threads;
@@ -123,7 +123,7 @@ RunResult WorkloadRunner::RunCount(const OpFn& op, uint64_t ops_per_thread) {
         if (!st.ok()) errors++;
       }
       total_errors.fetch_add(errors);
-      std::lock_guard<std::mutex> lock(phases_mu);
+      MutexLock lock(phases_mu);
       phases.Merge(local);
     });
   }
