@@ -189,6 +189,72 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+// Machine-readable results. When CFS_BENCH_JSON_DIR is set (as
+// run_all_benches.sh does), a bench writes BENCH_<bench>.json there on
+// destruction: one record per (system, workload) with op/s, p50/p99
+// latency and op/error counts, so the perf trajectory can be tracked
+// across PRs instead of eyeballed from table dumps.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench) : bench_(std::move(bench)) {}
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+  ~JsonReporter() { Flush(); }
+
+  void Add(const std::string& system, const std::string& workload,
+           const RunResult& result) {
+    records_.push_back(Record{system, workload, result.ops_per_sec(),
+                              static_cast<double>(result.latency.P50()),
+                              static_cast<double>(result.latency.P99()),
+                              result.ops, result.errors});
+  }
+
+  void Flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    const char* dir = std::getenv("CFS_BENCH_JSON_DIR");
+    if (dir == nullptr || records_.empty()) return;
+    std::string path = std::string(dir) + "/BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 bench_.c_str());
+    for (size_t i = 0; i < records_.size(); i++) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "    {\"system\": \"%s\", \"workload\": \"%s\", "
+                   "\"ops_per_sec\": %.1f, \"p50_us\": %.0f, "
+                   "\"p99_us\": %.0f, \"ops\": %llu, \"errors\": %llu}%s\n",
+                   r.system.c_str(), r.workload.c_str(), r.ops_per_sec,
+                   r.p50_us, r.p99_us,
+                   static_cast<unsigned long long>(r.ops),
+                   static_cast<unsigned long long>(r.errors),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] wrote %s (%zu records)\n", path.c_str(),
+                 records_.size());
+  }
+
+ private:
+  struct Record {
+    std::string system;
+    std::string workload;
+    double ops_per_sec;
+    double p50_us;
+    double p99_us;
+    uint64_t ops;
+    uint64_t errors;
+  };
+  std::string bench_;
+  std::vector<Record> records_;
+  bool flushed_ = false;
+};
+
 }  // namespace cfs::bench
 
 #endif  // CFS_BENCH_BENCH_COMMON_H_

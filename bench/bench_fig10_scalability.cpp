@@ -19,6 +19,7 @@ int main() {
     std::vector<double> getattr_kops;
   };
   std::vector<Point> points;
+  JsonReporter json("fig10_scalability");
 
   for (auto& make_system : AllSystems()) {
     Point point;
@@ -30,14 +31,16 @@ int main() {
       PreparePopulation(system, clients, /*files_per_dir=*/64, 0);
       {
         WorkloadRunner runner(system.MakeClients(clients));
-        point.create_kops.push_back(
-            runner.Run(MakeCreateOp(0.0), duration, duration / 4).kops());
+        RunResult result = runner.Run(MakeCreateOp(0.0), duration, duration / 4);
+        point.create_kops.push_back(result.kops());
+        json.Add(system.name, "create/c" + std::to_string(clients), result);
       }
       {
         WorkloadRunner runner(system.MakeClients(clients));
-        point.getattr_kops.push_back(
-            runner.Run(MakeGetAttrOp(0.0, 64, 0), duration, duration / 4)
-                .kops());
+        RunResult result =
+            runner.Run(MakeGetAttrOp(0.0, 64, 0), duration, duration / 4);
+        point.getattr_kops.push_back(result.kops());
+        json.Add(system.name, "getattr/c" + std::to_string(clients), result);
       }
       system.stop();
     }

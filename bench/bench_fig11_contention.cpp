@@ -22,6 +22,7 @@ int main() {
     std::vector<double> mkdir_kops;
   };
   std::vector<Row> rows;
+  JsonReporter json("fig11_contention");
 
   for (auto& make_system : AllSystems()) {
     Row row;
@@ -31,17 +32,20 @@ int main() {
       std::fprintf(stderr, "[fig11] %s @ %.0f%%\n", system.name.c_str(),
                    contention * 100);
       PreparePopulation(system, clients, 0, 0);
+      std::string pct = std::to_string(static_cast<int>(contention * 100));
       {
         WorkloadRunner runner(system.MakeClients(clients));
-        row.create_kops.push_back(
-            runner.Run(MakeCreateOp(contention), duration, duration / 4)
-                .kops());
+        RunResult result =
+            runner.Run(MakeCreateOp(contention), duration, duration / 4);
+        row.create_kops.push_back(result.kops());
+        json.Add(system.name, "create/cont" + pct, result);
       }
       {
         WorkloadRunner runner(system.MakeClients(clients));
-        row.mkdir_kops.push_back(
-            runner.Run(MakeMkdirOp(contention), duration, duration / 4)
-                .kops());
+        RunResult result =
+            runner.Run(MakeMkdirOp(contention), duration, duration / 4);
+        row.mkdir_kops.push_back(result.kops());
+        json.Add(system.name, "mkdir/cont" + pct, result);
       }
       system.stop();
     }

@@ -31,6 +31,7 @@ int main() {
     double kops[7];
   };
   std::vector<Row> rows;
+  JsonReporter json("fig12_large_directory");
 
   for (auto& make_system : AllSystems()) {
     System system = make_system();
@@ -55,6 +56,7 @@ int main() {
       RunResult result = runner.Run(MakeLargeDirOp(ops[i], "/bigdir", population),
                                     duration, duration / 4);
       row.kops[i] = result.kops();
+      json.Add(system.name, std::string(MetaOpName(ops[i])), result);
       std::fprintf(stderr, "[fig12] %s %s: %.1f Kops/s\n", system.name.c_str(),
                    std::string(MetaOpName(ops[i])).c_str(), row.kops[i]);
     }

@@ -48,6 +48,7 @@ int main() {
     double avg_us[7];
   };
   std::vector<Row> rows;
+  JsonReporter json("fig9_overall");
 
   for (auto& make_system : AllSystems()) {
     System system = make_system();
@@ -62,6 +63,7 @@ int main() {
       WorkloadRunner runner(system.MakeClients(clients));
       RunResult result = runner.Run(kOps[i].make(), duration, duration / 4);
       row.kops[i] = result.kops();
+      json.Add(system.name, std::string(kOps[i].name) + "/peak", result);
     }
     // (b) average latency with a single light client.
     for (size_t i = 0; i < 7; i++) {
@@ -69,6 +71,7 @@ int main() {
       RunResult result =
           runner.Run(kOps[i].make(), duration / 2, duration / 8);
       row.avg_us[i] = result.latency.mean();
+      json.Add(system.name, std::string(kOps[i].name) + "/light", result);
     }
     rows.push_back(row);
     system.stop();

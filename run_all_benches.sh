@@ -2,11 +2,23 @@
 # Regenerates every paper table/figure. Knobs:
 #   CFS_BENCH_DURATION_MS (default 2000), CFS_BENCH_CLIENTS (default 48),
 #   CFS_BENCH_LARGEDIR_FILES (default 20000).
+#
+# Besides the human-readable tables on stdout, benches write
+# machine-readable BENCH_<name>.json files (one record per system per
+# workload: ops_per_sec, p50_us, p99_us, ops, errors) into
+# CFS_BENCH_JSON_DIR (default: bench_results/) so the perf trajectory can
+# be diffed across PRs.
 set -e
 cd "$(dirname "$0")"
+CFS_BENCH_JSON_DIR="${CFS_BENCH_JSON_DIR:-bench_results}"
+export CFS_BENCH_JSON_DIR
+mkdir -p "$CFS_BENCH_JSON_DIR"
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "##### $(basename "$b") #####"
   "$b"
   echo
 done
+echo "##### machine-readable results #####"
+ls -1 "$CFS_BENCH_JSON_DIR"/BENCH_*.json 2>/dev/null || \
+  echo "(no BENCH_*.json written)"

@@ -2,7 +2,9 @@
 # Full check, four legs:
 #   1. regular build + complete test suite + docs lint + static-analysis
 #      lint (scripts/lint.sh: lock-discipline greps always; clang
-#      -Wthread-safety and clang-tidy when clang is installed);
+#      -Wthread-safety and clang-tidy when clang is installed) +
+#      critical-section scope lint (scripts/cs_scope_lint.sh: no RPC
+#      reachable under a live mutex guard);
 #   2. an AddressSanitizer+UBSan build running the complete test suite
 #      (memory errors and UB anywhere, not just in concurrency hot spots);
 #   3. a ThreadSanitizer build running the concurrency-heavy tests (metrics
@@ -29,6 +31,9 @@ if [[ "${1:-}" == "" ]]; then
 
   echo "== static-analysis lint =="
   scripts/lint.sh
+
+  echo "== critical-section scope lint =="
+  scripts/cs_scope_lint.sh
 fi
 
 if [[ "${1:-}" != "--tsan-only" ]]; then

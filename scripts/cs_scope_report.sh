@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds and runs the critical-section scope report (examples/
+# cs_scope_report.cpp): the same metadata workload through CFS and both
+# baselines, then one markdown table per system showing every exercised
+# lock class, its RPC-hold policy, hold spans, and RPCs-issued-under-lock.
+# Exits nonzero if any never-across-rpc class saw an RPC while held, or if
+# the baselines' row locks were not measured spanning RPCs — so the report
+# is a gate as well as an artifact.
+#
+# Usage: scripts/cs_scope_report.sh [-o FILE]   (default: stdout)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=""
+if [[ "${1:-}" == "-o" ]]; then
+  out="${2:?usage: cs_scope_report.sh [-o FILE]}"
+fi
+
+cmake -B build -S . >/dev/null
+cmake --build build --target cs_scope_report -j "$(nproc)" >/dev/null
+
+if [[ -n "$out" ]]; then
+  ./build/examples/cs_scope_report | tee "$out"
+  echo "cs_scope_report: wrote $out" >&2
+else
+  ./build/examples/cs_scope_report
+fi

@@ -53,6 +53,12 @@ while read -r name rank; do
     echo "docs_lint: lock class \"$name\" (rank $rank) is not in DESIGN.md's rank table" >&2
     missing=1
   fi
+  # Every mutex class is never-across-rpc (only logical scope classes may
+  # be allowed-across-rpc; see below); its policy column must say so.
+  if ! grep -qE "^\|\s*\`$name\`\s*\|\s*$rank\s*\|\s*never-across-rpc\s*\|" DESIGN.md; then
+    echo "docs_lint: mutex class \"$name\" must be documented never-across-rpc in DESIGN.md" >&2
+    missing=1
+  fi
 done <<< "$locks"
 
 if [[ "$missing" -ne 0 ]]; then
@@ -60,3 +66,27 @@ if [[ "$missing" -ne 0 ]]; then
   exit 1
 fi
 echo "docs_lint: DESIGN.md covers all $(echo "$locks" | wc -l) lock classes"
+
+# Logical scope classes (no mutex object; registered through
+# lock_order::RegisterClass with kAllowedAcrossRpc) carry a greppable
+# marker comment at the registration site:
+#     // cs-policy: allowed-across-rpc <class.name>
+# Cross-check both directions: every marker has a matching
+# allowed-across-rpc table row, and every allowed-across-rpc row in the
+# table has a marker (so neither code nor docs can drift).
+allowed_src=$(grep -rhoE 'cs-policy: allowed-across-rpc [a-z._]+' \
+                src/ --include='*.h' --include='*.cc' |
+              awk '{print $3}' | sort -u)
+allowed_doc=$(grep -oE '^\|\s*`[a-z._]+`\s*\|\s*[0-9]+\s*\|\s*allowed-across-rpc\s*\|' DESIGN.md |
+              sed -E 's/^\|\s*`([a-z._]+)`.*/\1/' | sort -u)
+
+if [[ -z "$allowed_src" ]]; then
+  echo "docs_lint: no cs-policy markers found in src/ (expected at least lockmgr.row)" >&2
+  exit 1
+fi
+if [[ "$allowed_src" != "$allowed_doc" ]]; then
+  echo "docs_lint: allowed-across-rpc classes disagree between src/ markers and DESIGN.md:" >&2
+  diff <(echo "$allowed_src") <(echo "$allowed_doc") >&2 || true
+  exit 1
+fi
+echo "docs_lint: DESIGN.md policy column matches $(echo "$allowed_src" | wc -l) allowed-across-rpc scope class(es)"

@@ -65,6 +65,22 @@ if [[ -n "$bad" ]]; then
   fail=1
 fi
 
+# 5. Status / StatusOr must stay [[nodiscard]] (a dropped status is a
+#    swallowed error) and the build must promote the discard warning to an
+#    error. Guard both halves so neither can be silently removed.
+if ! grep -q 'class \[\[nodiscard\]\] Status' src/common/status.h; then
+  echo "lint: Status lost its [[nodiscard]] attribute (src/common/status.h)" >&2
+  fail=1
+fi
+if ! grep -q 'class \[\[nodiscard\]\] StatusOr' src/common/status.h; then
+  echo "lint: StatusOr lost its [[nodiscard]] attribute (src/common/status.h)" >&2
+  fail=1
+fi
+if ! grep -q -- '-Werror=unused-result' CMakeLists.txt; then
+  echo "lint: CMakeLists.txt no longer builds with -Werror=unused-result" >&2
+  fail=1
+fi
+
 if [[ "$fail" -ne 0 ]]; then
   echo "lint: grep checks FAILED" >&2
   exit 1

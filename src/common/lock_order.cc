@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <bitset>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <unordered_map>
 
@@ -19,6 +21,8 @@ constexpr size_t kMaxClasses = 256;
 struct ClassInfo {
   std::string name;
   int rank = 0;
+  RpcHoldPolicy policy = RpcHoldPolicy::kNeverAcrossRpc;
+  std::string justification;
 };
 
 struct Registry {
@@ -45,14 +49,70 @@ Graph& GetGraph() {
 }
 
 std::atomic<bool> g_enabled{true};
+std::atomic<bool> g_rpc_enforce{true};
 // Bumped by ResetGraphForTest so per-thread verified-edge caches notice.
 std::atomic<uint64_t> g_graph_epoch{1};
 
 std::mutex g_handler_mu;
 ViolationHandler g_handler;  // empty = default print-and-abort
 
+// Per-class critical-section scope accounting. Plain atomics indexed by
+// class id: updated on the acquire/release/RPC fast paths with no lock, and
+// snapshotted (approximately — counters move independently) by
+// ScopeSnapshot(). Bucket index = RpcHoldBucketFor(rpcs issued under the
+// span).
+struct ScopeBucket {
+  std::atomic<uint64_t> holds{0};
+  std::atomic<int64_t> total_us{0};
+  std::atomic<int64_t> max_us{0};
+};
+
+struct ScopeSlot {
+  std::atomic<uint64_t> holds{0};
+  std::atomic<uint64_t> holds_with_rpc{0};
+  std::atomic<uint64_t> rpcs_under_lock{0};
+  std::atomic<uint64_t> rpc_violations{0};
+  std::atomic<uint64_t> unbalanced_pops{0};
+  std::atomic<bool> unbalanced_warned{false};
+  std::atomic<int64_t> max_hold_us{0};
+  std::atomic<int64_t> total_hold_us{0};
+  ScopeBucket buckets[kNumRpcHoldBuckets];
+};
+
+ScopeSlot* GetScope() {
+  static ScopeSlot* const s = new ScopeSlot[kMaxClasses];
+  return s;
+}
+
+std::atomic<uint64_t> g_total_rpc_violations{0};
+std::atomic<uint64_t> g_total_unbalanced_pops{0};
+
+void AtomicMax(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One held entry on a thread's stack. scope_only entries are logical
+// critical sections (e.g. row locks granted over RPC): they participate in
+// RPC-under-lock accounting and hold spans but are exempt from the
+// rank/cycle/self checks.
+struct Held {
+  uint32_t cls = 0;
+  bool scope_only = false;
+  uint64_t rpcs = 0;       // RPCs issued while this entry was held
+  int64_t acquire_ns = 0;  // steady-clock acquisition time
+};
+
 struct ThreadState {
-  std::vector<uint32_t> held;  // class ids, acquisition order
+  std::vector<Held> held;  // acquisition order
   std::bitset<kMaxClasses * kMaxClasses> verified;  // edges already in graph
   uint64_t graph_epoch = 0;
 };
@@ -69,12 +129,14 @@ ClassInfo InfoOf(uint32_t cls) {
   return r.classes[cls - 1];
 }
 
-std::string HeldStackString(const std::vector<uint32_t>& held) {
+std::string HeldStackString(const std::vector<Held>& held) {
   std::string out = "held stack: [";
   for (size_t i = 0; i < held.size(); i++) {
-    ClassInfo info = InfoOf(held[i]);
+    ClassInfo info = InfoOf(held[i].cls);
     if (i > 0) out += ", ";
-    out += "\"" + info.name + "\"(rank " + std::to_string(info.rank) + ")";
+    out += "\"" + info.name + "\"(rank " + std::to_string(info.rank);
+    if (held[i].scope_only) out += ", scope";
+    out += ")";
   }
   out += "]";
   return out;
@@ -92,6 +154,15 @@ void Report(Violation v) {
   }
   // Default: print both lock names and die. fprintf (not CFS_LOG): the
   // logger serializes on a cfs::Mutex and must not re-enter the tracker.
+  if (v.kind == Violation::Kind::kRpcUnderLock) {
+    std::fprintf(stderr,
+                 "[lock_order] FATAL rpc under lock: issuing RPC %s while "
+                 "holding \"%s\" (rank %d, policy never-across-rpc); %s\n",
+                 v.rpc_edge.c_str(), v.held.c_str(), v.held_rank,
+                 v.detail.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
   const char* kind = v.kind == Violation::Kind::kRank    ? "rank inversion"
                      : v.kind == Violation::Kind::kCycle ? "deadlock cycle"
                                                          : "recursive acquisition";
@@ -155,19 +226,113 @@ std::string PathString(const Graph& graph, uint32_t from, uint32_t to) {
   return out;
 }
 
+// Records the completed hold span of `entry` into its class's scope slot.
+void RecordHoldSpan(const Held& entry) {
+  ScopeSlot& slot = GetScope()[entry.cls];
+  int64_t hold_us = (NowNanos() - entry.acquire_ns) / 1000;
+  if (hold_us < 0) hold_us = 0;
+  slot.holds.fetch_add(1, std::memory_order_relaxed);
+  slot.total_hold_us.fetch_add(hold_us, std::memory_order_relaxed);
+  AtomicMax(slot.max_hold_us, hold_us);
+  if (entry.rpcs > 0) slot.holds_with_rpc.fetch_add(1, std::memory_order_relaxed);
+  ScopeBucket& b = slot.buckets[RpcHoldBucketFor(entry.rpcs)];
+  b.holds.fetch_add(1, std::memory_order_relaxed);
+  b.total_us.fetch_add(hold_us, std::memory_order_relaxed);
+  AtomicMax(b.max_us, hold_us);
+}
+
+// Pops the most recent held entry of class `cls` with the given scope-ness
+// and records its hold span. A release with no matching entry is a wrapper
+// bug (or an enable/disable toggle with locks held): counted per class and
+// warned about once per class — never fatal, the lock itself is fine.
+void PopHeld(uint32_t cls, bool scope_only, const char* what) {
+  if (cls == 0) return;
+  std::vector<Held>& held = State().held;
+  for (size_t i = held.size(); i > 0; i--) {
+    if (held[i - 1].cls == cls && held[i - 1].scope_only == scope_only) {
+      RecordHoldSpan(held[i - 1]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  if (!g_enabled.load(std::memory_order_relaxed)) {
+    // Acquired while tracking was disabled; nothing was pushed, so nothing
+    // to pop — not an imbalance.
+    return;
+  }
+  ScopeSlot& slot = GetScope()[cls < kMaxClasses ? cls : 0];
+  slot.unbalanced_pops.fetch_add(1, std::memory_order_relaxed);
+  g_total_unbalanced_pops.fetch_add(1, std::memory_order_relaxed);
+  bool expected = false;
+  if (slot.unbalanced_warned.compare_exchange_strong(expected, true)) {
+    ClassInfo info = InfoOf(cls);
+    std::fprintf(stderr,
+                 "[lock_order] WARNING: %s of \"%s\" with no matching held "
+                 "entry on this thread (reported once per class; see "
+                 "unbalanced_pops counter). Likely an acquire/release "
+                 "imbalance in a wrapper, or tracking was toggled with the "
+                 "lock held.\n",
+                 what, info.name.c_str());
+    std::fflush(stderr);
+  }
+}
+
+void PushHeld(uint32_t cls, bool scope_only) {
+  State().held.push_back(Held{cls, scope_only, 0, NowNanos()});
+}
+
 }  // namespace
 
+const char* RpcHoldPolicyName(RpcHoldPolicy policy) {
+  return policy == RpcHoldPolicy::kAllowedAcrossRpc ? "allowed-across-rpc"
+                                                    : "never-across-rpc";
+}
+
+const char* RpcHoldBucketLabel(size_t bucket) {
+  switch (bucket) {
+    case 0: return "0 rpcs";
+    case 1: return "1 rpc";
+    case 2: return "2-7 rpcs";
+    default: return "8+ rpcs";
+  }
+}
+
+size_t RpcHoldBucketFor(uint64_t rpcs) {
+  if (rpcs == 0) return 0;
+  if (rpcs == 1) return 1;
+  if (rpcs < 8) return 2;
+  return 3;
+}
+
 uint32_t RegisterClass(const char* name, int rank) {
+  return RegisterClass(name, rank, RpcHoldPolicy::kNeverAcrossRpc, nullptr);
+}
+
+uint32_t RegisterClass(const char* name, int rank, RpcHoldPolicy policy,
+                       const char* justification) {
+  if (policy == RpcHoldPolicy::kAllowedAcrossRpc &&
+      (justification == nullptr || justification[0] == '\0')) {
+    std::fprintf(stderr,
+                 "[lock_order] FATAL: lock class \"%s\" registered as "
+                 "allowed-across-rpc without a justification. Holding a lock "
+                 "across an RPC is the exception the paper exists to avoid; "
+                 "it must explain itself.\n",
+                 name);
+    std::fflush(stderr);
+    std::abort();
+  }
   Registry& r = GetRegistry();
   std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.by_name.find(name);
   if (it != r.by_name.end()) {
     const ClassInfo& existing = r.classes[it->second - 1];
-    if (existing.rank != rank) {
+    if (existing.rank != rank || existing.policy != policy ||
+        existing.justification != (justification ? justification : "")) {
       std::fprintf(stderr,
                    "[lock_order] FATAL: lock class \"%s\" re-registered with "
-                   "rank %d (was %d)\n",
-                   name, rank, existing.rank);
+                   "rank %d / policy %s (was rank %d / policy %s)\n",
+                   name, rank, RpcHoldPolicyName(policy), existing.rank,
+                   RpcHoldPolicyName(existing.policy));
       std::fflush(stderr);
       std::abort();
     }
@@ -179,7 +344,8 @@ uint32_t RegisterClass(const char* name, int rank) {
     std::fflush(stderr);
     std::abort();
   }
-  r.classes.push_back(ClassInfo{name, rank});
+  r.classes.push_back(
+      ClassInfo{name, rank, policy, justification ? justification : ""});
   uint32_t id = static_cast<uint32_t>(r.classes.size());
   r.by_name.emplace(name, id);
   return id;
@@ -196,7 +362,13 @@ void OnAcquire(uint32_t cls) {
 
   ClassInfo acq;
   if (!t.held.empty()) acq = InfoOf(cls);
-  for (uint32_t held : t.held) {
+  for (const Held& entry : t.held) {
+    // Logical (scope-only) entries are not mutexes: blocking on them is
+    // resolved by the lock manager's own timeouts, they are legally held
+    // many-at-a-time, and they would flood the held-before graph. They only
+    // matter to the RPC/scope accounting.
+    if (entry.scope_only) continue;
+    uint32_t held = entry.cls;
     if (held == cls) {
       Violation v;
       v.kind = Violation::Kind::kSelf;
@@ -245,33 +417,64 @@ void OnAcquire(uint32_t cls) {
     }
     t.verified.set(bit);
   }
-  t.held.push_back(cls);
+  PushHeld(cls, /*scope_only=*/false);
 }
 
 void OnTryAcquired(uint32_t cls) {
   if (cls == 0 || !g_enabled.load(std::memory_order_relaxed)) return;
-  State().held.push_back(cls);
+  PushHeld(cls, /*scope_only=*/false);
 }
 
 void OnRelease(uint32_t cls) {
-  if (cls == 0) return;
   // Runs even while disabled so stacks stay balanced across a Disable()
   // that happened with locks held. Pops the most recent matching entry
   // (releases are LIFO everywhere in this codebase, but a linear scan keeps
   // this correct even if they were not).
-  std::vector<uint32_t>& held = State().held;
-  for (size_t i = held.size(); i > 0; i--) {
-    if (held[i - 1] == cls) {
-      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i - 1));
-      return;
-    }
+  PopHeld(cls, /*scope_only=*/false, "release");
+}
+
+void OnScopeEnter(uint32_t cls) {
+  if (cls == 0 || !g_enabled.load(std::memory_order_relaxed)) return;
+  PushHeld(cls, /*scope_only=*/true);
+}
+
+void OnScopeExit(uint32_t cls) {
+  PopHeld(cls, /*scope_only=*/true, "scope exit");
+}
+
+void OnRpcEdge(const char* from_node, const char* to_node) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  ThreadState& t = State();
+  if (t.held.empty()) return;
+  ScopeSlot* scope = GetScope();
+  bool enforce = g_rpc_enforce.load(std::memory_order_relaxed);
+  // Snapshot violations before mutating: Report may not return (abort), so
+  // count first, and walk by index because a recording handler could
+  // re-enter locking code.
+  for (size_t i = 0; i < t.held.size(); i++) {
+    Held& entry = t.held[i];
+    entry.rpcs++;
+    ScopeSlot& slot = scope[entry.cls];
+    slot.rpcs_under_lock.fetch_add(1, std::memory_order_relaxed);
+    ClassInfo info = InfoOf(entry.cls);
+    if (info.policy != RpcHoldPolicy::kNeverAcrossRpc) continue;
+    slot.rpc_violations.fetch_add(1, std::memory_order_relaxed);
+    g_total_rpc_violations.fetch_add(1, std::memory_order_relaxed);
+    if (!enforce) continue;
+    Violation v;
+    v.kind = Violation::Kind::kRpcUnderLock;
+    v.held = info.name;
+    v.held_rank = info.rank;
+    v.rpc_edge = std::string(from_node) + " -> " + to_node;
+    v.detail = HeldStackString(t.held);
+    Report(std::move(v));
   }
 }
 
 void AssertHeld(uint32_t cls) {
   if (cls == 0 || !g_enabled.load(std::memory_order_relaxed)) return;
-  for (uint32_t held : State().held) {
-    if (held == cls) return;
+  for (const Held& entry : State().held) {
+    if (entry.cls == cls) return;
   }
   ClassInfo info = InfoOf(cls);
   std::fprintf(stderr,
@@ -287,6 +490,12 @@ void SetEnabled(bool enabled) {
 
 bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
+void SetRpcEnforcement(bool enforce) {
+  g_rpc_enforce.store(enforce, std::memory_order_relaxed);
+}
+
+bool RpcEnforcement() { return g_rpc_enforce.load(std::memory_order_relaxed); }
+
 void SetViolationHandler(ViolationHandler handler) {
   std::lock_guard<std::mutex> lock(g_handler_mu);
   g_handler = std::move(handler);
@@ -301,6 +510,71 @@ std::vector<std::pair<std::string, int>> RegisteredClasses() {
     out.emplace_back(info.name, info.rank);
   }
   return out;
+}
+
+std::vector<ClassScope> ScopeSnapshot() {
+  std::vector<ClassInfo> classes;
+  {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    classes = r.classes;
+  }
+  ScopeSlot* scope = GetScope();
+  std::vector<ClassScope> out;
+  out.reserve(classes.size());
+  for (size_t i = 0; i < classes.size(); i++) {
+    const ScopeSlot& slot = scope[i + 1];
+    ClassScope cs;
+    cs.name = classes[i].name;
+    cs.rank = classes[i].rank;
+    cs.policy = classes[i].policy;
+    cs.justification = classes[i].justification;
+    cs.holds = slot.holds.load(std::memory_order_relaxed);
+    cs.holds_with_rpc = slot.holds_with_rpc.load(std::memory_order_relaxed);
+    cs.rpcs_under_lock = slot.rpcs_under_lock.load(std::memory_order_relaxed);
+    cs.rpc_violations = slot.rpc_violations.load(std::memory_order_relaxed);
+    cs.unbalanced_pops = slot.unbalanced_pops.load(std::memory_order_relaxed);
+    cs.max_hold_us = slot.max_hold_us.load(std::memory_order_relaxed);
+    cs.total_hold_us = slot.total_hold_us.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kNumRpcHoldBuckets; b++) {
+      cs.rpc_buckets[b].holds =
+          slot.buckets[b].holds.load(std::memory_order_relaxed);
+      cs.rpc_buckets[b].total_us =
+          slot.buckets[b].total_us.load(std::memory_order_relaxed);
+      cs.rpc_buckets[b].max_us =
+          slot.buckets[b].max_us.load(std::memory_order_relaxed);
+    }
+    out.push_back(std::move(cs));
+  }
+  return out;
+}
+
+void ResetScopeStats() {
+  ScopeSlot* scope = GetScope();
+  for (size_t i = 0; i < kMaxClasses; i++) {
+    ScopeSlot& slot = scope[i];
+    slot.holds.store(0, std::memory_order_relaxed);
+    slot.holds_with_rpc.store(0, std::memory_order_relaxed);
+    slot.rpcs_under_lock.store(0, std::memory_order_relaxed);
+    slot.rpc_violations.store(0, std::memory_order_relaxed);
+    slot.unbalanced_pops.store(0, std::memory_order_relaxed);
+    slot.max_hold_us.store(0, std::memory_order_relaxed);
+    slot.total_hold_us.store(0, std::memory_order_relaxed);
+    for (size_t b = 0; b < kNumRpcHoldBuckets; b++) {
+      slot.buckets[b].holds.store(0, std::memory_order_relaxed);
+      slot.buckets[b].total_us.store(0, std::memory_order_relaxed);
+      slot.buckets[b].max_us.store(0, std::memory_order_relaxed);
+    }
+    // unbalanced_warned deliberately not reset: once per class per process.
+  }
+}
+
+uint64_t TotalRpcUnderLockViolations() {
+  return g_total_rpc_violations.load(std::memory_order_relaxed);
+}
+
+uint64_t TotalUnbalancedPops() {
+  return g_total_unbalanced_pops.load(std::memory_order_relaxed);
 }
 
 void ResetGraphForTest() {

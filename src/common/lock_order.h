@@ -1,5 +1,6 @@
-// Runtime lock-order (potential-deadlock) tracker behind cfs::Mutex /
-// cfs::SharedMutex (src/common/thread_annotations.h). Compiled in when
+// Runtime lock-order (potential-deadlock) tracker and critical-section
+// scope auditor behind cfs::Mutex / cfs::SharedMutex
+// (src/common/thread_annotations.h). Compiled in when
 // CFS_LOCK_ORDER_TRACKING is defined (CMake option CFS_LOCK_ORDER, ON by
 // default; turn it off for peak-performance benchmarking).
 //
@@ -28,6 +29,37 @@
 // Violations invoke the installed handler; the default prints both lock
 // names plus the held stack to stderr and aborts. Tests install a recording
 // handler (SetViolationHandler) to observe reports without dying.
+//
+// ---------------------------------------------------------------------------
+// Critical-section scope auditing (the paper's central invariant)
+//
+// CFS scales by *pruning the scope of critical sections*: unlike HopsFS
+// (row locks held across the RPCs of a multi-round transaction) and
+// InfiniFS, CFS's single-shard primitives never hold a lock across a
+// network round trip. The tracker turns that thesis into a machine-checked
+// invariant:
+//
+//   - Every lock class carries an RpcHoldPolicy. kNeverAcrossRpc (the
+//     default) means issuing an RPC with the class held is a bug;
+//     kAllowedAcrossRpc requires a justification string and marks classes
+//     that *intentionally* model baseline behaviour (the lock manager's
+//     logical row locks, the renamer's directory locks).
+//   - SimNet::BeginCall / Multicast invoke OnRpcEdge with the call's edge
+//     (source and destination node names). Every held entry's RPC count is
+//     bumped; a held kNeverAcrossRpc class raises a kRpcUnderLock violation
+//     naming the lock class and the RPC edge (abort by default, counted
+//     when enforcement is off or a recording handler is installed).
+//   - Releases feed per-class hold-span accounting: hold-time totals and
+//     maxima split by "number of RPCs issued under the lock"
+//     (0 / 1 / 2-7 / 8+), so scripts/cs_scope_report.sh can reproduce the
+//     paper's scope-comparison narrative against both baselines.
+//   - Logical (non-mutex) critical sections — e.g. a transaction's row
+//     locks, granted and released over RPC but *held* by the calling
+//     thread between the two — participate through OnScopeEnter/Exit.
+//     Scope entries are audited for RPCs-under-lock and hold spans but are
+//     exempt from the rank/cycle/self checks (row-lock deadlocks are
+//     handled by the lock manager's timeouts, and one thread legally holds
+//     many row locks of one class).
 
 #ifndef CFS_COMMON_LOCK_ORDER_H_
 #define CFS_COMMON_LOCK_ORDER_H_
@@ -41,27 +73,56 @@
 namespace cfs {
 namespace lock_order {
 
+// How a lock class relates to network round trips (the paper's pruned
+// critical-section scope). kAllowedAcrossRpc requires a justification.
+enum class RpcHoldPolicy : uint8_t {
+  kNeverAcrossRpc = 0,
+  kAllowedAcrossRpc = 1,
+};
+
+const char* RpcHoldPolicyName(RpcHoldPolicy policy);
+
 struct Violation {
-  enum class Kind { kRank, kCycle, kSelf };
+  enum class Kind { kRank, kCycle, kSelf, kRpcUnderLock };
   Kind kind = Kind::kRank;
-  std::string acquiring;  // class being acquired
+  std::string acquiring;  // class being acquired (empty for kRpcUnderLock)
   int acquiring_rank = 0;
   std::string held;  // held class it conflicts with
   int held_rank = 0;
+  // For kRpcUnderLock: "source-node -> destination-node" of the offending
+  // call.
+  std::string rpc_edge;
   // Human-readable elaboration: the held stack, and for cycles the
   // held-before path that the new edge closes.
   std::string detail;
 };
 
 // Registers (or looks up) the lock class `name` and returns its id (> 0).
-// All registrations of one name must agree on `rank`; a mismatch aborts —
-// it is a programming error, not a runtime condition.
+// All registrations of one name must agree on `rank`, `policy` and
+// `justification`; a mismatch aborts — it is a programming error, not a
+// runtime condition. kAllowedAcrossRpc without a non-empty justification
+// aborts: intentionally holding a lock across an RPC is an exception that
+// must explain itself.
 uint32_t RegisterClass(const char* name, int rank);
+uint32_t RegisterClass(const char* name, int rank, RpcHoldPolicy policy,
+                       const char* justification);
 
 // Hooks called by the cfs::Mutex / cfs::SharedMutex wrappers.
 void OnAcquire(uint32_t cls);      // rank + cycle checks, then push
 void OnTryAcquired(uint32_t cls);  // push only (try_lock cannot deadlock)
-void OnRelease(uint32_t cls);      // pop (tolerates unbalanced pops)
+void OnRelease(uint32_t cls);      // pop + hold-span accounting
+
+// Logical critical sections (no mutex object): pushed/popped around e.g. a
+// transaction's row-lock hold window. Audited for RPC-under-lock and hold
+// spans; exempt from rank/cycle/self checks, and one thread may hold many
+// entries of one class.
+void OnScopeEnter(uint32_t cls);
+void OnScopeExit(uint32_t cls);
+
+// Called by SimNet once per issued RPC with the call's edge. Charges the
+// RPC to every held entry and reports a kRpcUnderLock violation for every
+// held kNeverAcrossRpc class (see SetRpcEnforcement).
+void OnRpcEdge(const char* from_node, const char* to_node);
 
 // Aborts unless the calling thread holds a lock of class `cls`.
 void AssertHeld(uint32_t cls);
@@ -71,6 +132,14 @@ void AssertHeld(uint32_t cls);
 void SetEnabled(bool enabled);
 bool Enabled();
 
+// When enforcement is on (the default), an RPC issued under a
+// kNeverAcrossRpc class reports a violation (abort unless a handler is
+// installed). When off, the event is only counted in the scope stats —
+// the mode the scope-report tool uses to *measure* baselines instead of
+// killing them.
+void SetRpcEnforcement(bool enforce);
+bool RpcEnforcement();
+
 // Installs `handler` for subsequent violations; an empty handler restores
 // the default print-and-abort behaviour.
 using ViolationHandler = std::function<void(const Violation&)>;
@@ -78,6 +147,46 @@ void SetViolationHandler(ViolationHandler handler);
 
 // The name/rank pairs of every class registered so far (diagnostics).
 std::vector<std::pair<std::string, int>> RegisteredClasses();
+
+// ---------------------------------------------------------------------------
+// Scope accounting snapshot
+
+// Hold spans are split by how many RPCs were issued while the entry was
+// held: bucket 0 = no RPC, 1 = one, 2 = 2..7, 3 = 8 or more.
+inline constexpr size_t kNumRpcHoldBuckets = 4;
+const char* RpcHoldBucketLabel(size_t bucket);
+size_t RpcHoldBucketFor(uint64_t rpcs);
+
+struct ClassScope {
+  std::string name;
+  int rank = 0;
+  RpcHoldPolicy policy = RpcHoldPolicy::kNeverAcrossRpc;
+  std::string justification;
+
+  uint64_t holds = 0;           // completed hold spans
+  uint64_t holds_with_rpc = 0;  // spans during which >= 1 RPC was issued
+  uint64_t rpcs_under_lock = 0; // total RPCs issued while held
+  uint64_t rpc_violations = 0;  // RPCs under a held kNeverAcrossRpc class
+  uint64_t unbalanced_pops = 0; // releases with no matching held entry
+  int64_t max_hold_us = 0;
+  int64_t total_hold_us = 0;
+
+  struct Bucket {
+    uint64_t holds = 0;
+    int64_t total_us = 0;
+    int64_t max_us = 0;
+  };
+  Bucket rpc_buckets[kNumRpcHoldBuckets];
+};
+
+// Per-class scope stats for every registered class, in registration order.
+std::vector<ClassScope> ScopeSnapshot();
+// Zeroes every class's scope stats (the report tool calls this between
+// systems; class registrations survive).
+void ResetScopeStats();
+// Process-wide totals (cheap; used by tests and the metrics probe).
+uint64_t TotalRpcUnderLockViolations();
+uint64_t TotalUnbalancedPops();
 
 // Test support: drops every held-before edge and invalidates the per-thread
 // verified-edge caches. Registered classes survive (their ids are baked

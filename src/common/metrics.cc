@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "src/common/lock_order.h"
+
 namespace cfs {
 
 namespace {
@@ -65,7 +67,44 @@ void LatencyRecorder::Record(int64_t value_us) {
 // MetricsRegistry
 
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* const registry = new MetricsRegistry();
+  static MetricsRegistry* const registry = [] {
+    MetricsRegistry* r = new MetricsRegistry();
+#ifdef CFS_LOCK_ORDER_TRACKING
+    // Critical-section scope audit (src/common/lock_order.h). Registered
+    // here rather than in lock_order.cc so the tracker (which every mutex
+    // hook runs through) never depends on the metrics layer. Per-class
+    // samples are emitted only for classes with something to report, so a
+    // clean CFS run dumps just the two process-wide totals (both 0).
+    r->RegisterProbe("lock_scope", [] {
+      std::vector<std::pair<std::string, int64_t>> samples;
+      samples.emplace_back(
+          "rpc_under_lock_violations",
+          static_cast<int64_t>(lock_order::TotalRpcUnderLockViolations()));
+      samples.emplace_back(
+          "unbalanced_pops",
+          static_cast<int64_t>(lock_order::TotalUnbalancedPops()));
+      for (const auto& cs : lock_order::ScopeSnapshot()) {
+        if (cs.rpcs_under_lock == 0 && cs.rpc_violations == 0 &&
+            cs.unbalanced_pops == 0) {
+          continue;
+        }
+        samples.emplace_back(cs.name + ".rpcs_under_lock",
+                             static_cast<int64_t>(cs.rpcs_under_lock));
+        samples.emplace_back(cs.name + ".max_hold_us", cs.max_hold_us);
+        if (cs.rpc_violations > 0) {
+          samples.emplace_back(cs.name + ".rpc_violations",
+                               static_cast<int64_t>(cs.rpc_violations));
+        }
+        if (cs.unbalanced_pops > 0) {
+          samples.emplace_back(cs.name + ".unbalanced_pops",
+                               static_cast<int64_t>(cs.unbalanced_pops));
+        }
+      }
+      return samples;
+    });
+#endif
+    return r;
+  }();
   return *registry;
 }
 

@@ -41,7 +41,10 @@ enum class ErrorCode {
 
 std::string_view ErrorCodeName(ErrorCode code);
 
-class Status {
+// [[nodiscard]]: a dropped Status is a swallowed error. Enforced by
+// -Werror=unused-result (CMakeLists.txt) and a lint.sh grep; deliberate
+// drops must say so with a (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(ErrorCode::kOk) {}
   Status(ErrorCode code, std::string message)
@@ -126,8 +129,10 @@ class Status {
 std::ostream& operator<<(std::ostream& os, const Status& s);
 
 // A value-or-error holder in the spirit of absl::StatusOr.
+// [[nodiscard]] for the same reason as Status: dropping one swallows the
+// error *and* the value.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
     CFS_CHECK_MSG(!status_.ok(),

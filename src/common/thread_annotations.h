@@ -94,12 +94,23 @@ class CAPABILITY("mutex") Mutex {
   // name share one class. rank > 0 enforces "only acquire while every held
   // lock has a smaller rank"; rank 0 opts out of the rank rule and relies on
   // the held-before graph alone (used by tests).
-  explicit Mutex(const char* name, int rank = 0) {
+  //
+  // `policy` is the class's critical-section scope policy (DESIGN.md §9):
+  // kNeverAcrossRpc (default) makes issuing a SimNet RPC with this class
+  // held a reported violation; kAllowedAcrossRpc marks a class that
+  // intentionally spans round trips (baseline modeling) and requires a
+  // non-empty `justification`.
+  explicit Mutex(const char* name, int rank = 0,
+                 lock_order::RpcHoldPolicy policy =
+                     lock_order::RpcHoldPolicy::kNeverAcrossRpc,
+                 const char* justification = nullptr) {
 #ifdef CFS_LOCK_ORDER_TRACKING
-    order_class_ = lock_order::RegisterClass(name, rank);
+    order_class_ = lock_order::RegisterClass(name, rank, policy, justification);
 #else
     (void)name;
     (void)rank;
+    (void)policy;
+    (void)justification;
 #endif
   }
 
@@ -159,12 +170,17 @@ class CAPABILITY("mutex") Mutex {
 
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
-  explicit SharedMutex(const char* name, int rank = 0) {
+  explicit SharedMutex(const char* name, int rank = 0,
+                       lock_order::RpcHoldPolicy policy =
+                           lock_order::RpcHoldPolicy::kNeverAcrossRpc,
+                       const char* justification = nullptr) {
 #ifdef CFS_LOCK_ORDER_TRACKING
-    order_class_ = lock_order::RegisterClass(name, rank);
+    order_class_ = lock_order::RegisterClass(name, rank, policy, justification);
 #else
     (void)name;
     (void)rank;
+    (void)policy;
+    (void)justification;
 #endif
   }
 

@@ -177,6 +177,12 @@ void Cfs::RegisterEngine(CfsEngine* engine) {
 
 void Cfs::UnregisterEngine(CfsEngine* engine) {
   MutexLock lock(engines_mu_);
+  // A broadcast in flight fans out over a snapshot taken under this mutex
+  // that may include `engine`; wait for every such broadcast to finish
+  // before letting the engine's destructor proceed.
+  while (active_broadcasts_ > 0) {
+    engines_cv_.Wait(engines_mu_);
+  }
   for (auto it = engines_.begin(); it != engines_.end(); ++it) {
     if (*it == engine) {
       engines_.erase(it);
@@ -186,27 +192,36 @@ void Cfs::UnregisterEngine(CfsEngine* engine) {
 }
 
 void Cfs::BroadcastInvalidation(const CacheInvalidation& inv) {
-  // Hold engines_mu_ across the whole fan-out: a client engine may be
-  // destroyed at any time by a thread unrelated to the rename, and only
-  // the registry lock (which ~CfsEngine's UnregisterEngine blocks on)
-  // keeps the snapshot's pointers alive while ApplyInvalidation runs.
-  // ApplyInvalidation touches nothing but the target engine's own cache,
-  // and SimNet::Multicast delivers inline on this thread, so the lock
-  // cannot cycle; a concurrent NewClient's RegisterEngine merely waits for
-  // the broadcast to finish.
-  MutexLock lock(engines_mu_);
-  if (engines_.empty()) return;
+  // Snapshot the registry, then fan out with engines_mu_ *released* —
+  // cfs.engines is a never-across-rpc class and the multicast is a network
+  // round trip. The snapshot's pointers stay alive because a concurrent
+  // ~CfsEngine blocks in UnregisterEngine until active_broadcasts_ drains
+  // back to zero. An engine registered after the snapshot misses this
+  // invalidation, which is safe: it was just constructed and its cache is
+  // empty.
+  std::vector<CfsEngine*> snapshot;
+  {
+    MutexLock lock(engines_mu_);
+    if (engines_.empty()) return;
+    snapshot = engines_;
+    active_broadcasts_++;
+  }
   std::vector<NodeId> dests;
-  dests.reserve(engines_.size());
-  for (CfsEngine* engine : engines_) dests.push_back(engine->self());
+  dests.reserve(snapshot.size());
+  for (CfsEngine* engine : snapshot) dests.push_back(engine->self());
   net_.Multicast(renamer_->CoordinatorNetId(), dests, [&](NodeId dest) {
-    for (CfsEngine* engine : engines_) {
+    for (CfsEngine* engine : snapshot) {
       if (engine->self() == dest) {
         engine->ApplyInvalidation(inv);
         break;
       }
     }
   });
+  {
+    MutexLock lock(engines_mu_);
+    active_broadcasts_--;
+    if (active_broadcasts_ == 0) engines_cv_.NotifyAll();
+  }
 }
 
 std::unique_ptr<MetadataClient> Cfs::NewClient() {

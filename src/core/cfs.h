@@ -110,12 +110,14 @@ class Cfs {
   // their constructor and unregister in their destructor, so every engine
   // must be destroyed before its Cfs (all current call sites already do).
   void RegisterEngine(CfsEngine* engine);
+  // Blocks until no broadcast is using the snapshot that may contain
+  // `engine`, then removes it — so a destroyed engine is never touched.
   void UnregisterEngine(CfsEngine* engine);
   // Delivers `inv` to every registered engine as one SimNet multicast from
   // the Renamer coordinator (synchronous, on the renaming caller's
-  // thread). Runs with engines_mu_ held so an engine being destroyed
-  // concurrently (UnregisterEngine blocks on the same mutex) can never be
-  // touched after it is freed.
+  // thread). The fan-out runs on a snapshot with engines_mu_ *released*
+  // (pruned critical-section scope: no lock across RPCs); engines are kept
+  // alive by an active-broadcast refcount that UnregisterEngine waits on.
   void BroadcastInvalidation(const CacheInvalidation& inv);
 
  private:
@@ -125,10 +127,15 @@ class Cfs {
   std::unique_ptr<FileStoreCluster> filestore_;
   std::unique_ptr<Renamer> renamer_;
   std::unique_ptr<GarbageCollector> gc_;
-  // Held across the invalidation multicast (SimNet + engine caches), so it
-  // ranks below simnet.* and dentry.*.
+  // Guards the registry only; never held across the invalidation multicast
+  // (never-across-rpc policy). Kept below simnet.* and dentry.* in rank for
+  // the registry operations that nest under resolving paths.
   Mutex engines_mu_{"cfs.engines", 20};
   std::vector<CfsEngine*> engines_ GUARDED_BY(engines_mu_);
+  // Broadcasts in flight over a snapshot of engines_. UnregisterEngine
+  // waits for this to drain before letting an engine die.
+  int active_broadcasts_ GUARDED_BY(engines_mu_) = 0;
+  CondVar engines_cv_;
   std::vector<NodeId> proxy_nodes_;
   std::vector<std::unique_ptr<CfsEngine>> proxy_engines_;
   std::atomic<size_t> next_proxy_{0};

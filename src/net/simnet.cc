@@ -107,6 +107,13 @@ Status SimNet::BeginCall(NodeId from, NodeId to) {
       return Status::Unavailable("network partition");
     }
   }
+#ifdef CFS_LOCK_ORDER_TRACKING
+  // Critical-section scope audit: charge this round trip to every lock the
+  // calling thread holds (and report if any is kNeverAcrossRpc). Must run
+  // with the fault-check lock above already released — simnet.node itself
+  // is a never-across-rpc class.
+  lock_order::OnRpcEdge(nodes_[from].name.c_str(), nodes_[to].name.c_str());
+#endif
   int64_t injected_us = InjectLatency(from, to);
   total_calls_.fetch_add(1, std::memory_order_relaxed);
   if (injected_us > 0) {
@@ -136,6 +143,10 @@ size_t SimNet::Multicast(NodeId from, const std::vector<NodeId>& to,
         continue;
       }
     }
+#ifdef CFS_LOCK_ORDER_TRACKING
+    lock_order::OnRpcEdge(nodes_[from].name.c_str(),
+                          nodes_[dest].name.c_str());
+#endif
     // The concurrent fan-out completes when the slowest call does: charge
     // one round trip of injected latency for the whole batch.
     int64_t injected_us = latency_injected ? 0 : InjectLatency(from, dest);

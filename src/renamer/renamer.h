@@ -126,7 +126,17 @@ class Renamer {
   FileStoreCluster* filestore_;
   RenamerOptions options_;
   std::unique_ptr<RaftGroup> group_;  // leader election only
-  LockManager locks_;
+  // Coordinator-local directory locks, deliberately held across the rename
+  // transaction's network round trips — the one CFS component the paper
+  // exempts from the pruned-scope rule, so its scope class is
+  // allowed-across-rpc (audited and counted, never fatal).
+  // cs-policy: allowed-across-rpc renamer.dirlock
+  LockManager locks_{LockManagerOptions{}, RealClock::Get(), "renamer.dirlock",
+                     "the rename coordinator serializes directory moves by "
+                     "holding src/dst directory locks across the rename "
+                     "transaction's read/validate/commit round trips (paper "
+                     "§4.3); normal-path metadata operations never take "
+                     "these locks"};
   std::atomic<TxnId> next_txn_{1};
   std::function<void(const CacheInvalidation&)> broadcast_;
 

@@ -31,8 +31,34 @@ LockMetrics& Metrics() {
 
 }  // namespace
 
-LockManager::LockManager(LockManagerOptions options, const Clock* clock)
-    : options_(options), clock_(clock) {}
+LockManager::LockManager(LockManagerOptions options, const Clock* clock,
+                         const char* scope_class,
+                         const char* scope_justification)
+    : options_(options), clock_(clock) {
+#ifdef CFS_LOCK_ORDER_TRACKING
+  // Rank 0: logical scope entries are exempt from the rank/cycle checks
+  // (deadlock escape is the timeout above); the class exists for the
+  // RPC-under-lock and hold-span audit.
+  scope_class_ = lock_order::RegisterClass(
+      scope_class, 0, lock_order::RpcHoldPolicy::kAllowedAcrossRpc,
+      scope_justification);
+#else
+  (void)scope_class;
+  (void)scope_justification;
+#endif
+}
+
+void LockManager::ScopeEnter() {
+#ifdef CFS_LOCK_ORDER_TRACKING
+  lock_order::OnScopeEnter(scope_class_);
+#endif
+}
+
+void LockManager::ScopeExit() {
+#ifdef CFS_LOCK_ORDER_TRACKING
+  lock_order::OnScopeExit(scope_class_);
+#endif
+}
 
 bool LockManager::CanGrantLocked(const Entry& e, TxnId txn, LockMode mode,
                                  uint64_t ticket) const {
@@ -77,7 +103,10 @@ Status LockManager::Lock(TxnId txn, std::string_view key, LockMode mode,
     if (!inserted && mode == LockMode::kExclusive) {
       it->second = LockMode::kExclusive;  // upgrade
     }
-    held_[txn].insert(std::string(key));
+    auto& txn_keys = held_[txn];
+    bool first_key = txn_keys.empty();
+    txn_keys.insert(std::string(key));
+    if (first_key) ScopeEnter();
     stats_.acquisitions++;
     Metrics().acquisitions->Add();
     return Status::Ok();
@@ -130,7 +159,10 @@ Status LockManager::Lock(TxnId txn, std::string_view key, LockMode mode,
   if (!inserted && mode == LockMode::kExclusive) {
     it->second = LockMode::kExclusive;
   }
-  held_[txn].insert(std::string(key));
+  auto& txn_keys = held_[txn];
+  bool first_key = txn_keys.empty();
+  txn_keys.insert(std::string(key));
+  if (first_key) ScopeEnter();
   stats_.acquisitions++;
   int64_t waited = (clock_->NowNanos() - start) / 1000;
   stats_.total_wait_us += waited;
@@ -169,7 +201,10 @@ void LockManager::Unlock(TxnId txn, std::string_view key) {
   auto hit = held_.find(txn);
   if (hit != held_.end()) {
     hit->second.erase(std::string(key));
-    if (hit->second.empty()) held_.erase(hit);
+    if (hit->second.empty()) {
+      held_.erase(hit);
+      ScopeExit();
+    }
   }
   if (it->second.holders.empty() && it->second.queue.empty()) {
     table_.erase(it);
@@ -190,6 +225,7 @@ void LockManager::UnlockAll(TxnId txn) {
     }
   }
   held_.erase(hit);
+  ScopeExit();
   cv_.NotifyAll();
 }
 

@@ -34,8 +34,22 @@ struct LockManagerOptions {
 
 class LockManager {
  public:
-  explicit LockManager(LockManagerOptions options = {},
-                       const Clock* clock = RealClock::Get());
+  // `scope_class` / `scope_justification` name the logical
+  // critical-section class (src/common/lock_order.h) that a transaction's
+  // row-lock hold window is charged to: entered when a txn's held set goes
+  // empty -> non-empty on this manager, exited when it drains. Row locks
+  // are granted and released over RPC but *held* by the calling thread in
+  // between — exactly the lock-across-round-trips scope the paper prunes —
+  // so the class is registered kAllowedAcrossRpc and must justify itself.
+  // cs-policy: allowed-across-rpc lockmgr.row
+  explicit LockManager(
+      LockManagerOptions options = {}, const Clock* clock = RealClock::Get(),
+      const char* scope_class = "lockmgr.row",
+      const char* scope_justification =
+          "row locks intentionally span RPC round trips: lock-based "
+          "transactions (HopsFS/InfiniFS baselines and CFS's !primitives "
+          "mode) read, mutate and commit over the network while holding "
+          "them — the critical-section scope the paper measures and prunes");
 
   // Blocks until granted or timeout (kTimeout). Reentrant: a txn already
   // holding the key in the same (or stronger) mode succeeds immediately; a
@@ -91,8 +105,18 @@ class LockManager {
   bool CanGrantLocked(const Entry& e, TxnId txn, LockMode mode,
                       uint64_t ticket) const REQUIRES(mu_);
 
+  // Pushes/pops a row-lock scope entry on empty<->non-empty transitions of
+  // held_[txn]. The entry lands on the *calling* thread's held stack
+  // (grants run inline on the caller via SimNet), which is what makes
+  // RPC-under-row-lock accounting work.
+  void ScopeEnter();
+  void ScopeExit();
+
   LockManagerOptions options_;
   const Clock* clock_;
+#ifdef CFS_LOCK_ORDER_TRACKING
+  uint32_t scope_class_ = 0;
+#endif
   // Per-manager table lock. Held only for table bookkeeping — blocked
   // acquisitions wait on cv_ with mu_ released, and no other cfs lock is
   // ever taken underneath it (Metrics() instruments are cached pointers).

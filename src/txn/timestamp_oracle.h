@@ -58,12 +58,20 @@ class TimestampCache {
   uint64_t Next() {
     MutexLock lock(mu_);
     if (next_value_ >= limit_) {
+      // Pruned critical-section scope: the refill round trip runs with
+      // txn.tscache released (never-across-rpc policy), so concurrent
+      // callers may race to refill.
+      lock.Unlock();
       uint64_t first = 0;
       Status st = net_->Call(self_, oracle_->net_id(), [&]() -> Status {
         first = oracle_->NextBatch(batch_);
         return Status::Ok();
       });
-      if (st.ok()) {
+      lock.Lock();
+      if (st.ok() && next_value_ >= limit_) {
+        // Adopt the fetched window only if no concurrent refill landed
+        // while the lock was dropped; oracle batches are disjoint, so an
+        // unadopted window is simply skipped, never reissued.
         next_value_ = first;
         limit_ = first + batch_;
       }
@@ -79,7 +87,7 @@ class TimestampCache {
   NodeId self_;
   TimestampOracle* oracle_;
   uint64_t batch_;
-  // Held across the refill RPC (ranked below every SimNet lock).
+  // Never held across the refill RPC (see Next): never-across-rpc policy.
   Mutex mu_{"txn.tscache", 30};
   uint64_t next_value_ GUARDED_BY(mu_) = 0;
   uint64_t limit_ GUARDED_BY(mu_) = 0;
