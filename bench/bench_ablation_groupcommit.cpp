@@ -30,6 +30,7 @@ System MakeCfsWithBatch(size_t max_batch) {
 }  // namespace
 
 int main() {
+  TraceSession trace_session("ablation_groupcommit");
   Logger::Get().set_level(LogLevel::kWarn);
   size_t clients = Clients();
   int64_t duration = DurationMs();

@@ -191,6 +191,7 @@ void RenameChurnSweep(size_t clients) {
 
 int main() {
   using namespace cfs::bench;
+  TraceSession trace_session("cache_resolve");
   size_t clients = Clients() > 16 ? 16 : Clients();
   std::printf("clients=%zu duration_ms=%lld\n", clients,
               (long long)DurationMs());

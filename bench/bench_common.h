@@ -11,6 +11,17 @@
 //   CFS_BENCH_DURATION_MS (default 2000)   per measured point
 //   CFS_BENCH_CLIENTS     (default 48)     "500 concurrent clients"
 //   CFS_BENCH_LARGEDIR_FILES (default 20000)  Fig 12 population
+//
+// Causal tracing (src/common/trace_event.h) is driven by TraceSession:
+//   CFS_BENCH_TRACE_OUT        output directory; unset = tracing off
+//   CFS_TRACE_SAMPLE_EVERY     head sampling: every Nth op (default 64,
+//                              0 = tail capture only)
+//   CFS_TRACE_SLOW_US          slow-op threshold in us (default 20000)
+//   CFS_TRACE_RING_CAP         per-thread ring capacity (default 4096)
+//   CFS_TRACE_MAX_OPS          retained-op store bound (default 512)
+//   CFS_TRACE_MAX_SLOW_OPS     slow-op log bound (default 64)
+// On destruction the session writes TRACE_<bench>.json (Perfetto) and
+// TRACE_<bench>.slowops.txt (indented slow-op span trees) to the directory.
 
 #ifndef CFS_BENCH_BENCH_COMMON_H_
 #define CFS_BENCH_BENCH_COMMON_H_
@@ -23,6 +34,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/trace_event.h"
 #include "src/baselines/hopsfs/hopsfs.h"
 #include "src/baselines/infinifs/infinifs.h"
 #include "src/core/cfs.h"
@@ -253,6 +265,77 @@ class JsonReporter {
   std::string bench_;
   std::vector<Record> records_;
   bool flushed_ = false;
+};
+
+// Enables causal tracing for the binary's lifetime when CFS_BENCH_TRACE_OUT
+// is set (see the header comment for the knobs). Construct one per bench
+// main, before any system starts; the destructor writes the Perfetto JSON
+// and the slow-op tree dump.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string bench) : bench_(std::move(bench)) {
+    const char* dir = std::getenv("CFS_BENCH_TRACE_OUT");
+    if (dir == nullptr || dir[0] == '\0') return;
+    dir_ = dir;
+    trace::TraceOptions options;
+    options.enabled = true;
+    options.sample_every =
+        static_cast<uint32_t>(EnvInt("CFS_TRACE_SAMPLE_EVERY", 64));
+    options.slow_op_threshold_us = EnvInt("CFS_TRACE_SLOW_US", 20000);
+    options.ring_capacity =
+        static_cast<size_t>(EnvInt("CFS_TRACE_RING_CAP", 4096));
+    options.max_retained_ops =
+        static_cast<size_t>(EnvInt("CFS_TRACE_MAX_OPS", 512));
+    options.max_slow_ops =
+        static_cast<size_t>(EnvInt("CFS_TRACE_MAX_SLOW_OPS", 64));
+    trace::TraceCollector::Global().Configure(options);
+    std::fprintf(stderr,
+                 "[trace] enabled: sample_every=%u slow_us=%lld -> %s\n",
+                 options.sample_every,
+                 static_cast<long long>(options.slow_op_threshold_us),
+                 dir_.c_str());
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  ~TraceSession() {
+    if (dir_.empty()) return;
+    trace::TraceCollector& collector = trace::TraceCollector::Global();
+    trace::TraceOptions off;
+    off.enabled = false;
+    collector.Configure(off);
+
+    std::string json_path = dir_ + "/TRACE_" + bench_ + ".json";
+    if (!collector.WritePerfettoJson(json_path)) {
+      std::fprintf(stderr, "[trace] cannot write %s\n", json_path.c_str());
+    }
+    std::string slow_path = dir_ + "/TRACE_" + bench_ + ".slowops.txt";
+    std::FILE* f = std::fopen(slow_path.c_str(), "w");
+    if (f != nullptr) {
+      for (const trace::OpRecord& op : collector.SnapshotSlowOps()) {
+        std::string tree = trace::FormatOpTree(op, collector);
+        std::fwrite(tree.data(), 1, tree.size(), f);
+        std::fputc('\n', f);
+      }
+      std::fclose(f);
+    }
+    trace::TraceCollector::Stats stats = collector.stats();
+    std::fprintf(stderr,
+                 "[trace] wrote %s: ops_seen=%llu retained=%llu slow=%llu "
+                 "events_dropped=%llu\n",
+                 json_path.c_str(),
+                 static_cast<unsigned long long>(stats.ops_seen),
+                 static_cast<unsigned long long>(stats.ops_retained),
+                 static_cast<unsigned long long>(stats.ops_slow),
+                 static_cast<unsigned long long>(stats.events_dropped));
+  }
+
+  bool enabled() const { return !dir_.empty(); }
+
+ private:
+  std::string bench_;
+  std::string dir_;
 };
 
 }  // namespace cfs::bench

@@ -9,6 +9,7 @@ using namespace cfs;
 using namespace cfs::bench;
 
 int main() {
+  TraceSession trace_session("fig10_scalability");
   Logger::Get().set_level(LogLevel::kWarn);
   int64_t duration = DurationMs() / 2;
   const std::vector<size_t> client_counts = {8, 16, 32, 48, 64};

@@ -11,6 +11,7 @@ using namespace cfs;
 using namespace cfs::bench;
 
 int main() {
+  TraceSession trace_session("fig11_contention");
   Logger::Get().set_level(LogLevel::kWarn);
   size_t clients = Clients();
   int64_t duration = DurationMs();

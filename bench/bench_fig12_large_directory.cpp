@@ -16,6 +16,7 @@ using namespace cfs;
 using namespace cfs::bench;
 
 int main() {
+  TraceSession trace_session("fig12_large_directory");
   Logger::Get().set_level(LogLevel::kWarn);
   size_t clients = Clients();
   int64_t duration = DurationMs();

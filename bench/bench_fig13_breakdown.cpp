@@ -44,6 +44,7 @@ System MakeSmallInfiniFs() {
 }  // namespace
 
 int main() {
+  TraceSession trace_session("fig13_breakdown");
   Logger::Get().set_level(LogLevel::kWarn);
   size_t clients = std::max<size_t>(Clients() / 2, 8);  // "100 clients" scaled
   int64_t duration = DurationMs();
@@ -69,6 +70,11 @@ int main() {
     double kops[3];
     double avg_us[3];
     PhaseBreakdown phases[3];
+    // Span-tree-derived phase sums (tracing on only), captured right
+    // after each run while the bounded trace stores still hold it.
+    int64_t span_us[3][kNumPhases];
+    int64_t span_total[3];
+    size_t span_ops[3];
   };
   std::vector<Row> rows;
   // The last configuration's system stays up through the final registry
@@ -82,7 +88,7 @@ int main() {
                       /*shared_files=*/64);
     OpFn ops[3] = {MakeCreateOp(kContention), MakeMkdirOp(kContention),
                    MakeGetAttrOp(kContention, 64, 64)};
-    Row row;
+    Row row{};
     row.name = config.name;
     for (int i = 0; i < 3; i++) {
       WorkloadRunner runner(system.MakeClients(clients));
@@ -91,6 +97,29 @@ int main() {
       row.kops[i] = result.kops();
       row.avg_us[i] = result.latency.mean();
       row.phases[i] = result.phases;
+      if (trace_session.enabled()) {
+        // Fold this run's span trees into the row now, then reset the
+        // collector: the retained/slow stores are bounded, and fifteen
+        // runs sharing them would leave later rows with only tail-biased
+        // slow-op samples. Slow ops land in the slow-op log INSTEAD of
+        // the retained store, so the union is the comparison set.
+        trace::TraceCollector& collector = trace::TraceCollector::Global();
+        std::vector<trace::OpRecord> kept = collector.SnapshotRetained();
+        std::vector<trace::OpRecord> slow = collector.SnapshotSlowOps();
+        kept.insert(kept.end(), std::make_move_iterator(slow.begin()),
+                    std::make_move_iterator(slow.end()));
+        for (const trace::OpRecord& op : kept) {
+          if (op.name != label) continue;
+          row.span_ops[i]++;
+          row.span_total[i] += op.total_us;
+          std::vector<int64_t> per_phase =
+              trace::PhaseUsFromEvents(op.events, kNumPhases);
+          for (size_t p = 0; p < kNumPhases; p++) {
+            row.span_us[i][p] += per_phase[p];
+          }
+        }
+        collector.Reset();
+      }
     }
     rows.push_back(row);
     if (&config == &configs.back()) {
@@ -148,6 +177,38 @@ int main() {
       std::printf("%-12s %-8s %9.0f %9.0f %9.0f %9.0f %9.0f\n",
                   row.name.c_str(), op_names[i], total, resolve, lock, exec,
                   total - resolve - lock - exec);
+    }
+  }
+
+  // With tracing on, re-derive the same shares from the retained span
+  // trees and print the deltas — the causal layer and the accumulators are
+  // two independent readouts of one instrumented code path, so they must
+  // agree (acceptance: within 5 points on every phase share).
+  if (trace_session.enabled()) {
+    PrintHeader(
+        "Figure 13: phase shares, span-tree-derived vs accumulators (pct)");
+    std::printf("%-12s %-8s %6s  %15s %15s %15s\n", "config", "op", "ops",
+                "resolve", "lock", "exec");
+    const Phase checked[3] = {Phase::kResolve, Phase::kLockWait,
+                              Phase::kShardExec};
+    for (const auto& row : rows) {
+      for (int i = 0; i < 3; i++) {
+        if (row.span_ops[i] == 0 || row.span_total[i] <= 0) continue;
+        const PhaseBreakdown& ph = row.phases[i];
+        std::printf("%-12s %-8s %6zu ", row.name.c_str(), op_names[i],
+                    row.span_ops[i]);
+        for (Phase p : checked) {
+          double span_share =
+              100.0 *
+              static_cast<double>(row.span_us[i][static_cast<size_t>(p)]) /
+              static_cast<double>(row.span_total[i]);
+          double acc_share = 100.0 * ph.Share(p);
+          std::printf(" %5.1f/%5.1f d%3.1f", span_share, acc_share,
+                      span_share > acc_share ? span_share - acc_share
+                                             : acc_share - span_share);
+        }
+        std::printf("\n");
+      }
     }
   }
 

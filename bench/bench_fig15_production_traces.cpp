@@ -13,6 +13,7 @@ using namespace cfs;
 using namespace cfs::bench;
 
 int main() {
+  TraceSession trace_session("fig15_production_traces");
   Logger::Get().set_level(LogLevel::kWarn);
   size_t clients = Clients();
   int64_t duration = DurationMs();

@@ -32,6 +32,7 @@ System MakeSmallHopsFs() {
 }  // namespace
 
 int main() {
+  TraceSession trace_session("fig4_lock_overhead");
   Logger::Get().set_level(LogLevel::kWarn);
   int64_t duration = DurationMs() / 2;
   const std::vector<size_t> client_counts = {3, 6, 12, 24, 48};

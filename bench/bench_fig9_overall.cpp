@@ -38,6 +38,7 @@ constexpr OpSpec kOps[] = {
 }  // namespace
 
 int main() {
+  TraceSession trace_session("fig9_overall");
   Logger::Get().set_level(LogLevel::kWarn);
   size_t clients = Clients();
   int64_t duration = DurationMs();

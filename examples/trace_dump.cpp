@@ -1,0 +1,157 @@
+// trace_dump — the causal-tracing report tool (DESIGN.md §10).
+//
+// Boots a small CFS cluster in sleep-mode SimNet (so spans have real
+// durations), traces EVERY op (sample_every=1, low slow threshold), runs a
+// mixed metadata workload including cross-directory renames, then prints:
+//   1. the top-N slowest ops as indented span trees (which shard, which
+//      RPC edge, which lock queue the time went to),
+//   2. the span-tree-derived phase shares next to the OpTrace accumulator
+//      shares — two independent readouts of one instrumented path, which
+//      must agree,
+//   3. optionally, the full Perfetto JSON (load at https://ui.perfetto.dev).
+//
+// Usage:  trace_dump [top_n] [perfetto_out.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/trace_event.h"
+#include "src/core/cfs.h"
+#include "src/workload/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace cfs;
+
+  size_t top_n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 5;
+  const char* perfetto_path = argc > 2 ? argv[2] : nullptr;
+
+  // Trace everything: head sampling at 1 keeps every op, and a 1ms slow
+  // threshold exercises tail capture under sleep-mode RPC latency.
+  trace::TraceOptions trace_options;
+  trace_options.enabled = true;
+  trace_options.sample_every = 1;
+  trace_options.slow_op_threshold_us = 1000;
+  trace_options.max_retained_ops = 4096;
+  trace::TraceCollector::Global().Configure(trace_options);
+
+  CfsOptions options = CfsFullOptions();
+  options.num_servers = 4;
+  options.tafdb.num_shards = 4;
+  options.tafdb.range_stripe_width = 2;
+  options.filestore.num_nodes = 2;
+  options.net.mode = LatencyMode::kSleep;
+  options.net.cross_node_rtt_us = 150;
+  options.net.same_node_rtt_us = 5;
+  Cfs fs(options);
+  if (Status st = fs.Start(); !st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // A mixed workload touching every instrumented subsystem: creates and
+  // getattrs (resolve + shard exec + WAL/raft), plus cross-directory
+  // renames (renamer coordination, dirlocks, ordered multi-shard steps).
+  auto client = fs.NewClient();
+  PhaseBreakdown accumulated;
+  auto run_op = [&](const char* name, const std::function<Status()>& fn) {
+    OpTrace::Begin(name);
+    Status st = fn();
+    accumulated.Add(OpTrace::Finish());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name, st.ToString().c_str());
+    }
+  };
+
+  run_op("mkdir", [&] { return client->Mkdir("/a", 0755); });
+  run_op("mkdir", [&] { return client->Mkdir("/b", 0755); });
+  for (int i = 0; i < 16; i++) {
+    std::string file = "/a/f" + std::to_string(i);
+    run_op("create", [&] { return client->Create(file, 0644); });
+  }
+  for (int i = 0; i < 16; i++) {
+    std::string file = "/a/f" + std::to_string(i);
+    run_op("getattr", [&] { return client->GetAttr(file).status(); });
+  }
+  // Cross-directory renames take the Renamer normal path: dirlocks, a
+  // loop check, and deterministically ordered multi-shard primitives.
+  for (int i = 0; i < 8; i++) {
+    std::string src = "/a/f" + std::to_string(i);
+    std::string dst = "/b/g" + std::to_string(i);
+    run_op("rename", [&] { return client->Rename(src, dst); });
+  }
+  run_op("readdir", [&] { return client->ReadDir("/b").status(); });
+
+  trace::TraceCollector& collector = trace::TraceCollector::Global();
+
+  // 1. Slowest ops, as causal span trees. The slow-op log keeps the
+  // slowest ops seen; retained ops cover everything else.
+  std::vector<trace::OpRecord> slow = collector.SnapshotSlowOps();
+  std::printf("=== top %zu slowest ops (of %zu tail-captured) ===\n\n",
+              top_n < slow.size() ? top_n : slow.size(), slow.size());
+  for (size_t i = 0; i < slow.size() && i < top_n; i++) {
+    std::printf("%s\n", trace::FormatOpTree(slow[i], collector).c_str());
+  }
+
+  // 2. Cross-check: phase shares derived from span trees vs the OpTrace
+  // accumulators. Same clock reads feed both, so they agree by
+  // construction; a drift here means an AddPhase site lost its event
+  // mirror (or vice versa). Slow ops land in the slow-op log INSTEAD of
+  // the retained store, so the comparison set is the union of both —
+  // with sample_every=1 that is every op, matching the accumulator.
+  std::vector<trace::OpRecord> retained = collector.SnapshotRetained();
+  retained.insert(retained.end(), slow.begin(), slow.end());
+  int64_t span_us[kNumPhases] = {};
+  int64_t span_total = 0;
+  for (const trace::OpRecord& op : retained) {
+    span_total += op.total_us;
+    std::vector<int64_t> per_phase =
+        trace::PhaseUsFromEvents(op.events, kNumPhases);
+    for (size_t p = 0; p < kNumPhases; p++) span_us[p] += per_phase[p];
+  }
+  std::printf("=== phase shares: span-derived vs accumulator (%zu ops) ===\n",
+              retained.size());
+  std::printf("%-14s %10s %10s %8s\n", "phase", "span_pct", "accum_pct",
+              "delta");
+  double worst = 0;
+  for (size_t p = 0; p < kNumPhases; p++) {
+    if (span_us[p] == 0 && accumulated.us[p] == 0) continue;
+    double span_share = span_total > 0
+                            ? 100.0 * static_cast<double>(span_us[p]) /
+                                  static_cast<double>(span_total)
+                            : 0;
+    double acc_share = 100.0 * accumulated.Share(static_cast<Phase>(p));
+    double delta =
+        span_share > acc_share ? span_share - acc_share : acc_share - span_share;
+    if (delta > worst) worst = delta;
+    std::printf("%-14s %9.1f%% %9.1f%% %7.2f\n",
+                std::string(PhaseName(static_cast<Phase>(p))).c_str(),
+                span_share, acc_share, delta);
+  }
+  std::printf("worst delta: %.2f points %s\n\n", worst,
+              worst <= 5.0 ? "(within 5-point agreement bound)"
+                           : "(EXCEEDS 5-point agreement bound)");
+
+  // 3. Perfetto export.
+  if (perfetto_path != nullptr) {
+    if (collector.WritePerfettoJson(perfetto_path)) {
+      std::printf("wrote Perfetto trace: %s (load at ui.perfetto.dev)\n",
+                  perfetto_path);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", perfetto_path);
+    }
+  }
+
+  trace::TraceCollector::Stats stats = collector.stats();
+  std::printf("trace stats: ops_seen=%llu retained=%llu slow=%llu "
+              "events_dropped=%llu\n",
+              static_cast<unsigned long long>(stats.ops_seen),
+              static_cast<unsigned long long>(stats.ops_retained),
+              static_cast<unsigned long long>(stats.ops_slow),
+              static_cast<unsigned long long>(stats.events_dropped));
+
+  fs.Stop();
+  return worst <= 5.0 ? 0 : 1;
+}

@@ -7,18 +7,49 @@
 # machine-readable BENCH_<name>.json files (one record per system per
 # workload: ops_per_sec, p50_us, p99_us, ops, errors) into
 # CFS_BENCH_JSON_DIR (default: bench_results/) so the perf trajectory can
-# be diffed across PRs.
-set -e
+# be diffed across PRs (scripts/bench_compare.sh).
+#
+# A crashing bench does NOT abort the sweep: every bench runs, each gets a
+# pass/fail line and a closing summary table, and the script exits nonzero
+# iff any bench failed.
+set -u
 cd "$(dirname "$0")"
 CFS_BENCH_JSON_DIR="${CFS_BENCH_JSON_DIR:-bench_results}"
 export CFS_BENCH_JSON_DIR
 mkdir -p "$CFS_BENCH_JSON_DIR"
+
+summary=""
+failed=0
+total=0
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
-  echo "##### $(basename "$b") #####"
-  "$b"
+  name=$(basename "$b")
+  total=$((total + 1))
+  echo "##### $name #####"
+  start=$(date +%s)
+  if "$b"; then
+    status=pass
+  else
+    rc=$?
+    status="FAIL($rc)"
+    failed=$((failed + 1))
+    echo "##### $name FAILED (exit $rc) #####" >&2
+  fi
+  elapsed=$(($(date +%s) - start))
+  summary="$summary$(printf '%-32s %-9s %4ss' "$name" "$status" "$elapsed")
+"
   echo
 done
+
 echo "##### machine-readable results #####"
 ls -1 "$CFS_BENCH_JSON_DIR"/BENCH_*.json 2>/dev/null || \
   echo "(no BENCH_*.json written)"
+
+echo
+echo "##### bench summary #####"
+printf '%s' "$summary"
+if [ "$failed" -ne 0 ]; then
+  echo "$failed of $total benches FAILED"
+  exit 1
+fi
+echo "all $total benches passed"

@@ -1,0 +1,191 @@
+#!/usr/bin/env bash
+# Perf-regression tripwire (warn-only). Two legs:
+#
+#   1. Re-run the full bench sweep at the PINNED baseline config (shorter
+#      and smaller than the paper config, so it fits in CI) and diff every
+#      (bench, system, workload) record against the committed baseline in
+#      bench_results/. Throughput drops >25% are flagged.
+#   2. Measure the tracing tax: run Figure 9 untraced, then traced with
+#      sampling disabled (events recorded, everything discarded at op end
+#      — the always-on production mode), and report the CFS throughput
+#      delta. Target: within 3%.
+#
+# This script NEVER fails the build: simulated-time throughput on shared
+# CI runners is noisy, so the output is an artifact for humans (and for
+# the PR description), not a gate. It exits nonzero only when it cannot
+# run at all (missing build, missing python3).
+#
+# Usage: scripts/bench_compare.sh [fresh_results_dir]
+#   With an argument, skips the sweep and compares an existing results
+#   directory (e.g. one produced by a previous run_all_benches.sh).
+set -u
+cd "$(dirname "$0")/.."
+
+BASELINE_DIR=bench_results
+command -v python3 >/dev/null || { echo "bench_compare: python3 required" >&2; exit 2; }
+[ -x build/bench/bench_fig9_overall ] || {
+  echo "bench_compare: build/bench is missing; build first" >&2; exit 2; }
+
+# The pinned config the committed baseline was generated with (see
+# bench_results/BASELINE.md). Overridable for local experiments, but then
+# the comparison is apples-to-oranges.
+export CFS_BENCH_DURATION_MS="${CFS_BENCH_DURATION_MS:-400}"
+export CFS_BENCH_CLIENTS="${CFS_BENCH_CLIENTS:-12}"
+export CFS_BENCH_LARGEDIR_FILES="${CFS_BENCH_LARGEDIR_FILES:-3000}"
+echo "bench_compare: pinned config duration=${CFS_BENCH_DURATION_MS}ms" \
+     "clients=${CFS_BENCH_CLIENTS} largedir=${CFS_BENCH_LARGEDIR_FILES}"
+
+FRESH_DIR="${1:-}"
+if [ -z "$FRESH_DIR" ]; then
+  FRESH_DIR=$(mktemp -d)
+  echo "bench_compare: running sweep into $FRESH_DIR ..."
+  CFS_BENCH_JSON_DIR="$FRESH_DIR" ./run_all_benches.sh > "$FRESH_DIR/sweep.log" 2>&1 ||
+    echo "bench_compare: WARNING: some benches failed (see $FRESH_DIR/sweep.log)"
+fi
+
+# ---- Leg 1: diff fresh results against the committed baseline. --------
+python3 - "$BASELINE_DIR" "$FRESH_DIR" <<'EOF'
+import glob, json, os, sys
+
+base_dir, fresh_dir = sys.argv[1], sys.argv[2]
+THRESHOLD = 0.25  # >25% throughput drop is a regression warning
+
+def load(path):
+    out = {}
+    with open(path) as f:
+        doc = json.load(f)
+    for r in doc.get("results", []):
+        out[(r["system"], r["workload"])] = r
+    return doc.get("bench", os.path.basename(path)), out
+
+regressions, improvements, compared, missing = [], [], 0, []
+for base_path in sorted(glob.glob(os.path.join(base_dir, "BENCH_*.json"))):
+    name = os.path.basename(base_path)
+    fresh_path = os.path.join(fresh_dir, name)
+    if not os.path.exists(fresh_path):
+        missing.append(name)
+        continue
+    bench, base = load(base_path)
+    _, fresh = load(fresh_path)
+    for key, b in base.items():
+        f = fresh.get(key)
+        if f is None or b["ops_per_sec"] <= 0:
+            continue
+        compared += 1
+        delta = (f["ops_per_sec"] - b["ops_per_sec"]) / b["ops_per_sec"]
+        row = (bench, key[0], key[1], b["ops_per_sec"], f["ops_per_sec"], delta)
+        if delta < -THRESHOLD:
+            regressions.append(row)
+        elif delta > THRESHOLD:
+            improvements.append(row)
+
+print(f"\nbench_compare: {compared} (bench, system, workload) records compared")
+for name in missing:
+    print(f"bench_compare: WARNING: no fresh results for {name} (bench crashed?)")
+
+def show(rows, label):
+    for bench, system, workload, b, f, d in sorted(rows, key=lambda r: r[5]):
+        print(f"  {label} {bench} {system}/{workload}: "
+              f"{b:.0f} -> {f:.0f} op/s ({d * 100:+.1f}%)")
+
+if regressions:
+    print(f"bench_compare: WARNING: {len(regressions)} throughput "
+          f"regression(s) beyond {THRESHOLD:.0%} (warn-only, not a gate):")
+    show(regressions, "REGRESSION")
+else:
+    print(f"bench_compare: no throughput regressions beyond {THRESHOLD:.0%}")
+if improvements:
+    print(f"bench_compare: {len(improvements)} record(s) improved beyond "
+          f"{THRESHOLD:.0%}:")
+    show(improvements, "improved")
+EOF
+
+# ---- Leg 2: the tracing tax on Figure 9. ------------------------------
+# Untraced run vs traced-with-sampling-disabled run (sample_every=0 and
+# slow threshold 0: with no retention trigger armed, BeginOp refuses to
+# activate and every span costs one thread-local boolean — the
+# steady-state price of shipping with the tracer compiled in). Runs
+# longer than the pinned sweep because the verdict is a ratio of two
+# noisy throughput samples; the judgement is on the AGGREGATE CFS
+# throughput (per-row numbers are informational — single-client "light"
+# rows see only a few hundred ops even at this duration).
+TAX_DURATION_MS="${CFS_TAX_DURATION_MS:-1000}"
+echo
+echo "bench_compare: measuring tracing overhead on fig9 (CFS rows," \
+     "${TAX_DURATION_MS}ms runs, ABBA order) ..."
+TAX_DIR=$(mktemp -d)
+# ABBA interleaving (untraced, traced, traced, untraced): single-machine
+# throughput drifts over minutes (CPU frequency, steal, page cache);
+# symmetric ordering cancels linear drift out of the mode comparison.
+i=0
+untraced_files=""
+traced_files=""
+for mode in u t t u; do
+  i=$((i + 1))
+  d="$TAX_DIR/run$i-$mode"
+  mkdir -p "$d"
+  if [ "$mode" = u ]; then
+    CFS_BENCH_DURATION_MS="$TAX_DURATION_MS" CFS_BENCH_JSON_DIR="$d" \
+      build/bench/bench_fig9_overall > "$d/fig9.log" 2>&1 ||
+      echo "bench_compare: WARNING: untraced fig9 run $i failed"
+    untraced_files="$untraced_files $d/BENCH_fig9_overall.json"
+  else
+    CFS_BENCH_DURATION_MS="$TAX_DURATION_MS" CFS_BENCH_JSON_DIR="$d" \
+      CFS_BENCH_TRACE_OUT="$d" CFS_TRACE_SAMPLE_EVERY=0 CFS_TRACE_SLOW_US=0 \
+      build/bench/bench_fig9_overall > "$d/fig9.log" 2>&1 ||
+      echo "bench_compare: WARNING: traced fig9 run $i failed"
+    traced_files="$traced_files $d/BENCH_fig9_overall.json"
+  fi
+done
+
+python3 - "$untraced_files" "$traced_files" <<'EOF'
+import json, sys
+
+def load_cfs(paths):
+    # workload -> summed ops_per_sec across the mode's runs
+    out = {}
+    n = 0
+    for path in paths.split():
+        try:
+            with open(path) as f:
+                rows = json.load(f)["results"]
+        except OSError as e:
+            print(f"bench_compare: WARNING: missing tax-leg results ({e})")
+            continue
+        n += 1
+        for r in rows:
+            if r["system"] == "CFS":
+                out[r["workload"]] = out.get(r["workload"], 0.0) \
+                    + r["ops_per_sec"]
+    return out, n
+
+b, nb = load_cfs(sys.argv[1])
+t, nt = load_cfs(sys.argv[2])
+if nb == 0 or nt == 0:
+    print("bench_compare: WARNING: tracing-tax leg skipped (no results)")
+    sys.exit(0)
+
+total_b = total_t = 0.0
+worst = (0.0, "-")
+for wl, ops in sorted(b.items()):
+    if wl not in t or ops <= 0:
+        continue
+    total_b += ops / nb
+    total_t += t[wl] / nt
+    delta = (t[wl] / nt - ops / nb) / (ops / nb)
+    if abs(delta) > abs(worst[0]):
+        worst = (delta, wl)
+    print(f"  fig9 CFS {wl}: untraced {ops / nb:.0f} -> "
+          f"traced(sampling off) {t[wl] / nt:.0f} op/s ({delta * 100:+.1f}%)")
+if total_b > 0:
+    agg = (total_t - total_b) / total_b
+    verdict = "within" if abs(agg) <= 0.03 else "EXCEEDS"
+    print(f"bench_compare: tracing tax (fig9 CFS, sampling disabled, "
+          f"{nb}+{nt} interleaved runs): {agg * 100:+.2f}% aggregate — "
+          f"{verdict} the 3% target "
+          f"(noisiest row: {worst[0] * 100:+.1f}% {worst[1]})")
+EOF
+
+echo
+echo "bench_compare: done (warn-only; see above for any WARNINGs)"
+exit 0

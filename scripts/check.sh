@@ -17,8 +17,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TSAN_TESTS=(metrics_test simnet_test lock_manager_test common_test
-            lock_order_test workload_test dentry_cache_test)
+TSAN_TESTS=(metrics_test trace_event_test simnet_test lock_manager_test
+            common_test lock_order_test workload_test dentry_cache_test)
 
 if [[ "${1:-}" == "" ]]; then
   echo "== regular build + full test suite =="

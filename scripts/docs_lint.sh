@@ -90,3 +90,35 @@ if [[ "$allowed_src" != "$allowed_doc" ]]; then
   exit 1
 fi
 echo "docs_lint: DESIGN.md policy column matches $(echo "$allowed_src" | wc -l) allowed-across-rpc scope class(es)"
+
+# Span taxonomy: the OpTrace phase names (PhaseName, metrics.cc) and the
+# trace categories (CategoryName, trace_event.cc) must match DESIGN.md
+# §10's taxonomy table, in BOTH directions — a phase/category added in
+# code needs a documented meaning, and a documented row must still exist
+# in code.
+code_phases=$(awk '/^std::string_view PhaseName/,/^\}/' src/common/metrics.cc |
+              grep -oE 'return "[a-z0-9_]+"' | sed -E 's/return "(.*)"/\1/' |
+              grep -v '^unknown$' | sort -u)
+code_cats=$(awk '/CategoryName\(Category/,/^\}/' src/common/trace_event.cc |
+            grep -oE 'return "[a-z0-9_]+"' | sed -E 's/return "(.*)"/\1/' |
+            grep -v '^unknown$' | sort -u)
+doc_phases=$(grep -oE '^\|\s*`[a-z0-9_]+`\s*\|\s*phase\s*\|' DESIGN.md |
+             sed -E 's/^\|\s*`([a-z0-9_]+)`.*/\1/' | sort -u)
+doc_cats=$(grep -oE '^\|\s*`[a-z0-9_]+`\s*\|\s*category\s*\|' DESIGN.md |
+           sed -E 's/^\|\s*`([a-z0-9_]+)`.*/\1/' | sort -u)
+
+if [[ -z "$code_phases" || -z "$code_cats" ]]; then
+  echo "docs_lint: failed to extract phase/category names from src/common" >&2
+  exit 1
+fi
+if [[ "$code_phases" != "$doc_phases" ]]; then
+  echo "docs_lint: OpTrace phases disagree between metrics.cc and DESIGN.md §10:" >&2
+  diff <(echo "$code_phases") <(echo "$doc_phases") >&2 || true
+  exit 1
+fi
+if [[ "$code_cats" != "$doc_cats" ]]; then
+  echo "docs_lint: trace categories disagree between trace_event.cc and DESIGN.md §10:" >&2
+  diff <(echo "$code_cats") <(echo "$doc_cats") >&2 || true
+  exit 1
+fi
+echo "docs_lint: DESIGN.md §10 covers all $(echo "$code_phases" | wc -l) phases and $(echo "$code_cats" | wc -l) trace categories"

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Trace smoke test (a real gate, unlike bench_compare.sh): runs a short
+# Figure 9 sweep with causal tracing on, then asserts the artifacts are
+# usable:
+#   - TRACE_fig9_overall.json is valid JSON in Chrome/Perfetto trace
+#     format,
+#   - at least one trace_id has causally-linked spans attributed to >=2
+#     distinct cluster nodes (a complete cross-shard span tree),
+#   - every slow-op log entry is at least the configured threshold.
+#
+# Usage: scripts/trace_smoke.sh [out_dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${1:-$(mktemp -d)}"
+mkdir -p "$OUT_DIR"
+command -v python3 >/dev/null || { echo "trace_smoke: python3 required" >&2; exit 2; }
+[ -x build/bench/bench_fig9_overall ] || {
+  echo "trace_smoke: build/bench/bench_fig9_overall missing; build first" >&2
+  exit 2
+}
+
+SLOW_US=2000
+echo "trace_smoke: running short traced fig9 into $OUT_DIR ..."
+CFS_BENCH_DURATION_MS=200 CFS_BENCH_CLIENTS=8 \
+  CFS_BENCH_JSON_DIR="$OUT_DIR" CFS_BENCH_TRACE_OUT="$OUT_DIR" \
+  CFS_TRACE_SAMPLE_EVERY=8 CFS_TRACE_SLOW_US=$SLOW_US \
+  build/bench/bench_fig9_overall > "$OUT_DIR/fig9.log" 2>&1
+
+python3 - "$OUT_DIR" "$SLOW_US" <<'EOF'
+import collections, json, os, re, sys
+
+out_dir, slow_us = sys.argv[1], int(sys.argv[2])
+trace_path = os.path.join(out_dir, "TRACE_fig9_overall.json")
+slow_path = os.path.join(out_dir, "TRACE_fig9_overall.slowops.txt")
+failures = []
+
+# 1. Valid JSON, Chrome/Perfetto trace-event shape.
+with open(trace_path) as f:
+    doc = json.load(f)  # raises (-> nonzero exit) on malformed JSON
+events = doc.get("traceEvents", [])
+spans = [e for e in events if e.get("ph") in ("X", "i")]
+metas = [e for e in events if e.get("ph") == "M"]
+if not spans:
+    failures.append("no span events (ph=X/i) in trace")
+if not any(m.get("name") == "process_name" for m in metas):
+    failures.append("no process_name metadata events")
+for e in spans[:200]:
+    for k in ("name", "ts", "pid", "tid"):
+        if k not in e:
+            failures.append(f"span event missing {k!r}: {e}")
+            break
+
+# 2. At least one complete cross-shard span tree: one trace_id whose
+# spans are attributed to >=2 distinct cluster nodes (pid 1 is the
+# client; node pids start at 2), and whose parent links resolve.
+by_trace = collections.defaultdict(list)
+for e in spans:
+    args = e.get("args", {})
+    if "trace_id" in args:
+        by_trace[args["trace_id"]].append(e)
+cross = 0
+for tid, evs in by_trace.items():
+    node_pids = {e["pid"] for e in evs if e["pid"] >= 2}
+    if len(node_pids) < 2:
+        continue
+    span_ids = {e["args"]["span_id"] for e in evs}
+    linked = sum(1 for e in evs if e["args"].get("parent_span_id") in span_ids)
+    if linked > 0:
+        cross += 1
+if cross == 0:
+    failures.append("no trace_id with causally-linked spans on >=2 nodes")
+
+# 3. Slow-op log: every captured entry is at least the threshold.
+n_slow = 0
+with open(slow_path) as f:
+    for line in f:
+        m = re.search(r"total=(\d+)us", line)
+        if m and not line.startswith(" "):
+            n_slow += 1
+            if int(m.group(1)) < slow_us:
+                failures.append(
+                    f"slow-op entry below threshold {slow_us}us: {line.strip()}")
+if n_slow == 0:
+    failures.append(f"slow-op log is empty (threshold {slow_us}us)")
+
+print(f"trace_smoke: {len(events)} trace events, {len(by_trace)} traces, "
+      f"{cross} cross-shard trees, {n_slow} slow ops (>= {slow_us}us)")
+if failures:
+    for msg in failures:
+        print(f"trace_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+print("trace_smoke: ok")
+EOF

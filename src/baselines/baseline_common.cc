@@ -2,6 +2,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/metrics.h"
+#include "src/common/trace_event.h"
 
 namespace cfs {
 
@@ -46,7 +47,7 @@ StatusOr<InodeRecord> BaselineEngineBase::ReadRow(const InodeKey& key) {
 
 PrimitiveResult BaselineEngineBase::ExecOnShard(InodeId kid,
                                                 const PrimitiveOp& op) {
-  TraceSpan span(Phase::kShardExec);
+  TraceSpan span(Phase::kShardExec, "exec_on_shard");
   TafDbShard* shard = tafdb_->ShardFor(kid);
   Status delivered = net_->BeginCall(self_, shard->ServiceNetId());
   if (!delivered.ok()) {
@@ -54,6 +55,10 @@ PrimitiveResult BaselineEngineBase::ExecOnShard(InodeId kid,
     r.status = delivered;
     return r;
   }
+  // Direct-call site: attribute the shard-side execution to the
+  // destination like SimNet::Call would.
+  trace::NodeScope node(net_->TraceNodeOf(shard->ServiceNetId()));
+  trace::ScopedSpan exec(trace::Category::kExec, "primitive");
   return shard->ExecutePrimitive(op);
 }
 
@@ -80,7 +85,7 @@ Status BaselineEngineBase::LockOnShard(TxnId txn, InodeId kid,
   // manager) counts as lock-phase time for the Fig 4 breakdown. The span
   // owns the phase while open, so the lock manager's own queue-wait stamp
   // inside is suppressed rather than double counted.
-  TraceSpan span(Phase::kLockWait);
+  TraceSpan span(Phase::kLockWait, "lock_on_shard");
   TafDbShard* shard = tafdb_->ShardFor(kid);
   return net_->Call(self_, shard->ServiceNetId(), [&] {
     return shard->locks()->LockAll(txn, std::move(keys), LockMode::kExclusive,

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/common/lock_order.h"
+#include "src/common/trace_event.h"
 
 namespace cfs {
 
@@ -325,15 +326,17 @@ OpTrace::Tls& OpTrace::tls() {
   return t;
 }
 
-void OpTrace::Begin() {
+void OpTrace::Begin(const char* op_name) {
   Tls& t = tls();
   t.data = OpTraceData{};
   t.op_start = RealClock::Get()->NowNanos();
+  trace::BeginOp(op_name);
 }
 
 OpTraceData OpTrace::Finish() {
   Tls& t = tls();
   t.data.total_us = (RealClock::Get()->NowNanos() - t.op_start) / 1000;
+  trace::FinishOp(t.data.total_us);
   return t.data;
 }
 
@@ -360,23 +363,64 @@ void OpTrace::ClearPhase(Phase phase) {
   t.data.count[i] = 0;
 }
 
-TraceSpan::TraceSpan(Phase phase) : phase_(phase) {
+namespace {
+
+trace::Category CategoryForPhase(Phase phase) {
+  switch (phase) {
+    case Phase::kResolve:
+      return trace::Category::kResolve;
+    case Phase::kLockWait:
+      return trace::Category::kLock;
+    case Phase::kShardExec:
+      return trace::Category::kExec;
+    case Phase::kTwoPcPrepare:
+    case Phase::kTwoPcDecision:
+      return trace::Category::kTwoPc;
+    case Phase::kWalFsync:
+      return trace::Category::kWal;
+    case Phase::kRaftAppend:
+      return trace::Category::kRaft;
+    case Phase::kRenamer:
+      return trace::Category::kRename;
+    case Phase::kResolveCached:
+      return trace::Category::kCache;
+    case Phase::kRpc:
+      return trace::Category::kRpc;
+  }
+  return trace::Category::kOp;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(Phase phase, const char* name)
+    : phase_(phase),
+      emit_(trace::Active()),
+      name_(name != nullptr ? name : PhaseName(phase).data()) {
   OpTrace::Tls& t = OpTrace::tls();
   uint16_t bit = static_cast<uint16_t>(1u << static_cast<size_t>(phase));
   owns_ = (t.active_mask & bit) == 0;
-  if (owns_) {
-    t.active_mask |= bit;
-    start_ = RealClock::Get()->NowNanos();
-  }
+  if (owns_) t.active_mask |= bit;
+  if (emit_) span_id_ = trace::PushSpan(&saved_parent_);
+  // One clock read feeds both the accumulator and the causal event, so the
+  // two stay in agreement by construction.
+  if (owns_ || emit_) start_ = RealClock::Get()->NowNanos();
 }
 
 TraceSpan::~TraceSpan() {
-  if (!owns_) return;
-  OpTrace::Tls& t = OpTrace::tls();
-  size_t i = static_cast<size_t>(phase_);
-  t.active_mask &= static_cast<uint16_t>(~(1u << i));
-  t.data.us[i] += (RealClock::Get()->NowNanos() - start_) / 1000;
-  t.data.count[i]++;
+  if (!owns_ && !emit_) return;
+  MonoNanos end = RealClock::Get()->NowNanos();
+  if (owns_) {
+    OpTrace::Tls& t = OpTrace::tls();
+    size_t i = static_cast<size_t>(phase_);
+    t.active_mask &= static_cast<uint16_t>(~(1u << i));
+    t.data.us[i] += (end - start_) / 1000;
+    t.data.count[i]++;
+  }
+  if (emit_ && span_id_ != 0) {
+    trace::PopSpan(span_id_, saved_parent_, CategoryForPhase(phase_), name_,
+                   static_cast<uint8_t>(phase_), start_ / 1000,
+                   (end - start_) / 1000);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -182,9 +182,12 @@ struct OpTraceData {
 // thread's context.
 class OpTrace {
  public:
-  // Zeroes the accumulators and starts the op stopwatch.
-  static void Begin();
+  // Zeroes the accumulators and starts the op stopwatch. Also opens a
+  // causal-trace op bracket (src/common/trace_event.h) named `op_name`, so
+  // every OpTrace'd op is a candidate for span-tree capture.
+  static void Begin(const char* op_name = "op");
   // Stops the stopwatch (total_us) and returns the accumulated trace.
+  // Closes the causal-trace bracket with the same total.
   static OpTraceData Finish();
 
   // Manual stamp (e.g. a computed blocked duration). No-op if a TraceSpan
@@ -203,10 +206,15 @@ class OpTrace {
 };
 
 // RAII phase timer. The outermost span of a given phase on a thread owns
-// the phase's wall time; nested spans of the same phase are no-ops.
+// the phase's wall time; nested spans of the same phase are no-ops for the
+// accumulator. When the thread is causally tracing, EVERY TraceSpan (owning
+// or nested) additionally emits a trace event — the nesting is what forms
+// the span tree — using the same clock reads as the accumulator, so
+// span-derived phase times match the OpTrace sums by construction.
 class TraceSpan {
  public:
-  explicit TraceSpan(Phase phase);
+  // `name` must outlive the span (string literals); nullptr = PhaseName.
+  explicit TraceSpan(Phase phase, const char* name = nullptr);
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
@@ -214,7 +222,11 @@ class TraceSpan {
 
  private:
   Phase phase_;
-  bool owns_;  // false when nested inside a same-phase span
+  bool owns_;        // false when nested inside a same-phase span
+  bool emit_;        // true when a causal-trace event will be emitted
+  const char* name_;
+  uint64_t span_id_ = 0;
+  uint64_t saved_parent_ = 0;
   MonoNanos start_ = 0;
 };
 

@@ -25,6 +25,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/trace_event.h"
 #include "src/core/cfs.h"
 #include "src/core/gc.h"
 
@@ -120,6 +121,7 @@ void CfsEngine::InvalidateCache(const std::string& path) {
 }
 
 void CfsEngine::ApplyInvalidation(const CacheInvalidation& inv) {
+  trace::Instant(trace::Category::kCache, "invalidate");
   if (!inv.src_path.empty()) {
     if (inv.subtree) {
       cache_.ErasePrefix(inv.src_path);
@@ -181,7 +183,7 @@ Status CfsEngine::LockPhaseCall(NodeId service,
 }
 
 PrimitiveResult CfsEngine::ExecOnShard(InodeId kid, const PrimitiveOp& op) {
-  TraceSpan span(Phase::kShardExec);
+  TraceSpan span(Phase::kShardExec, "exec_on_shard");
   TafDbShard* shard = fs_->tafdb()->ShardFor(kid);
   Status delivered = fs_->net()->BeginCall(self_, shard->ServiceNetId());
   if (!delivered.ok()) {
@@ -189,6 +191,10 @@ PrimitiveResult CfsEngine::ExecOnShard(InodeId kid, const PrimitiveOp& op) {
     r.status = delivered;
     return r;
   }
+  // Direct-call site (no SimNet::Call wrapper): attribute the shard-side
+  // execution to the destination like Call() would.
+  trace::NodeScope node(fs_->net()->TraceNodeOf(shard->ServiceNetId()));
+  trace::ScopedSpan exec(trace::Category::kExec, "primitive");
   return shard->ExecutePrimitive(op);
 }
 

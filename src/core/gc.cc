@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/trace_event.h"
 #include "src/core/cfs.h"
 
 namespace cfs {
@@ -65,6 +66,11 @@ void GarbageCollector::Loop() {
 void GarbageCollector::RunOnceForTest() { ScanOnce(); }
 
 void GarbageCollector::ScanOnce() {
+  // GC cycles run on the collector thread outside any OpTrace bracket;
+  // OpScope roots them as their own trace so slow scans land in the
+  // slow-op log like any other operation.
+  trace::OpScope op("gc_scan");
+  trace::ScopedSpan span(trace::Category::kGc, "scan");
   MutexLock lock(mu_);
   IngestTafDb();
   IngestFileStore();

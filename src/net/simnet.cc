@@ -45,6 +45,8 @@ NodeId SimNet::AddNode(std::string name, uint32_t server) {
   CFS_CHECK(id < kMaxNodes);
   nodes_[id].name = std::move(name);
   nodes_[id].server = server;
+  nodes_[id].trace_node =
+      trace::TraceCollector::Global().InternNode(nodes_[id].name);
   nodes_[id].calls = std::make_unique<std::atomic<uint64_t>>(0);
   // Publish: concurrent readers (raft replicators mid-call while a client
   // node registers) only dereference slots below num_nodes_.
@@ -121,6 +123,10 @@ Status SimNet::BeginCall(NodeId from, NodeId to) {
   }
   t_hops++;
   OpTrace::AddPhase(Phase::kRpc, injected_us);
+  if (trace::Active()) {
+    trace::RpcEvent(nodes_[from].name.c_str(), nodes_[to].name.c_str(),
+                    nodes_[to].trace_node, injected_us);
+  }
   nodes_[to].calls->fetch_add(1, std::memory_order_relaxed);
   {
     MutexLock lock(edge_mu_);
@@ -157,6 +163,10 @@ size_t SimNet::Multicast(NodeId from, const std::vector<NodeId>& to,
     }
     t_hops++;
     OpTrace::AddPhase(Phase::kRpc, injected_us);
+    if (trace::Active()) {
+      trace::RpcEvent(nodes_[from].name.c_str(), nodes_[dest].name.c_str(),
+                      nodes_[dest].trace_node, injected_us);
+    }
     nodes_[dest].calls->fetch_add(1, std::memory_order_relaxed);
     {
       MutexLock lock(edge_mu_);
@@ -164,7 +174,10 @@ size_t SimNet::Multicast(NodeId from, const std::vector<NodeId>& to,
       edge.calls++;
       edge.injected_us += injected_us;
     }
-    fn(dest);
+    {
+      trace::NodeScope scope(nodes_[dest].trace_node);
+      fn(dest);
+    }
     delivered++;
   }
   return delivered;
@@ -239,6 +252,11 @@ void SimNet::ResetStats() {
   }
   MutexLock edge_lock(edge_mu_);
   edges_.clear();
+}
+
+uint32_t SimNet::TraceNodeOf(NodeId node) const {
+  CFS_CHECK(node < num_nodes_.load(std::memory_order_acquire));
+  return nodes_[node].trace_node;
 }
 
 void SimNet::ResetThreadHops() { t_hops = 0; }

@@ -37,6 +37,7 @@
 #include "src/common/random.h"
 #include "src/common/status.h"
 #include "src/common/thread_annotations.h"
+#include "src/common/trace_event.h"
 
 namespace cfs {
 
@@ -89,11 +90,15 @@ class SimNet {
 
   // Invokes `fn` on the destination as one RPC round trip. If delivery
   // fails, returns the delivery error (fn's return type must be
-  // constructible from Status: Status or StatusOr<T>).
+  // constructible from Status: Status or StatusOr<T>). The handler runs on
+  // the caller's thread under a trace::NodeScope for the destination, so
+  // spans it emits are attributed to the destination node — that is how a
+  // causal trace "propagates" across SimNet (cf. src/common/trace_event.h).
   template <typename Fn>
   auto Call(NodeId from, NodeId to, Fn&& fn) -> decltype(fn()) {
     Status delivery = BeginCall(from, to);
     if (!delivery.ok()) return delivery;
+    trace::NodeScope scope(TraceNodeOf(to));
     return std::forward<Fn>(fn)();
   }
 
@@ -120,6 +125,11 @@ class SimNet {
   static void ResetThreadHops();
   static uint64_t ThreadHops();
 
+  // The destination's interned trace-node id (TraceCollector::InternNode),
+  // for attributing spans at direct-BeginCall sites that invoke the
+  // destination object without going through Call().
+  uint32_t TraceNodeOf(NodeId node) const;
+
   const NetOptions& options() const { return options_; }
   void set_mode(LatencyMode mode) { options_.mode = mode; }
 
@@ -127,6 +137,9 @@ class SimNet {
   struct Node {
     std::string name;
     uint32_t server = 0;
+    // Interned trace identity (stable across SimNet instances: keyed by
+    // name, so "tafdb.shard1" is the same trace node in every run).
+    uint32_t trace_node = UINT32_MAX;
     std::unique_ptr<std::atomic<uint64_t>> calls;
   };
 

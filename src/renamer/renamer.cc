@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/trace_event.h"
 
 namespace cfs {
 namespace {
@@ -198,6 +199,10 @@ Status Renamer::Rename(const RenameRequest& req) {
     PrimitiveResult result;
     Status delivered = net_->BeginCall(self, dir_shard->ServiceNetId());
     if (!delivered.ok()) return delivered;
+    // Direct-call site: attribute the retire primitive to the shard like
+    // SimNet::Call would.
+    trace::NodeScope node(net_->TraceNodeOf(dir_shard->ServiceNetId()));
+    trace::ScopedSpan exec(trace::Category::kExec, "retire_dst");
     result = dir_shard->ExecutePrimitive(retire);
     if (!result.status.ok()) return result.status;  // kNotEmpty and friends
     if (!result.deleted_records.empty()) {

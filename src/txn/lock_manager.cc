@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/common/metrics.h"
+#include "src/common/trace_event.h"
 
 namespace cfs {
 namespace {
@@ -143,6 +144,10 @@ Status LockManager::Lock(TxnId txn, std::string_view key, LockMode mode,
       int64_t waited = (clock_->NowNanos() - start) / 1000;
       stats_.total_wait_us += waited;
       OpTrace::AddPhase(Phase::kLockWait, waited);
+      // Causal-trace mirror of the AddPhase stamp: a span covering the
+      // in-queue wait (thread-local write, safe under mu_).
+      trace::CompleteSpan(trace::Category::kLock, "queue_timeout", waited,
+                          static_cast<uint8_t>(Phase::kLockWait));
       Metrics().timeouts->Add();
       Metrics().wait_us->Add(static_cast<uint64_t>(waited));
       Metrics().waiters->Add(-1);
@@ -167,6 +172,8 @@ Status LockManager::Lock(TxnId txn, std::string_view key, LockMode mode,
   int64_t waited = (clock_->NowNanos() - start) / 1000;
   stats_.total_wait_us += waited;
   OpTrace::AddPhase(Phase::kLockWait, waited);
+  trace::CompleteSpan(trace::Category::kLock, "queue_wait", waited,
+                      static_cast<uint8_t>(Phase::kLockWait));
   Metrics().acquisitions->Add();
   Metrics().wait_us->Add(static_cast<uint64_t>(waited));
   Metrics().waiters->Add(-1);
@@ -250,6 +257,8 @@ int64_t LockManager::ThreadWaitMicros() {
 }
 void LockManager::AddThreadWait(int64_t micros) {
   OpTrace::AddPhase(Phase::kLockWait, micros);
+  trace::CompleteSpan(trace::Category::kLock, "thread_wait", micros,
+                      static_cast<uint8_t>(Phase::kLockWait));
 }
 
 LockManager::Stats LockManager::stats() const {

@@ -66,7 +66,7 @@ Status TwoPhaseCommit::Run(NodeId coordinator,
   Status failure = Status::Ok();
   std::vector<Status> votes;
   {
-    TraceSpan span(Phase::kTwoPcPrepare);
+    TraceSpan span(Phase::kTwoPcPrepare, "2pc_prepare");
     votes = fan_out([txn](TxnParticipant* p) { return p->Prepare(txn); });
   }
   {
@@ -81,7 +81,7 @@ Status TwoPhaseCommit::Run(NodeId coordinator,
   // Phase 2: decision.
   if (failure.ok()) {
     {
-      TraceSpan span(Phase::kTwoPcDecision);
+      TraceSpan span(Phase::kTwoPcDecision, "2pc_commit");
       (void)fan_out([txn](TxnParticipant* p) { return p->Commit(txn); });
     }
     Metrics().committed->Add();
@@ -91,7 +91,7 @@ Status TwoPhaseCommit::Run(NodeId coordinator,
     return Status::Ok();
   }
   {
-    TraceSpan span(Phase::kTwoPcDecision);
+    TraceSpan span(Phase::kTwoPcDecision, "2pc_abort");
     (void)fan_out([txn](TxnParticipant* p) { return p->Abort(txn); });
   }
   Metrics().aborted->Add();

@@ -49,6 +49,10 @@ RunResult WorkloadRunner::Run(const OpFn& op, int64_t duration_ms,
   Mutex phases_mu{"workload.phases", 90};
   PhaseBreakdown phases;
 
+  // Causal-trace op name: the run's label when given ("fig9.cfs.create"),
+  // so retained span trees say which bench op produced them.
+  const char* op_name = trace_label.empty() ? "op" : trace_label.c_str();
+
   std::vector<std::thread> threads;
   threads.reserve(clients_.size());
   for (size_t t = 0; t < clients_.size(); t++) {
@@ -59,10 +63,16 @@ RunResult WorkloadRunner::Run(const OpFn& op, int64_t duration_ms,
       uint64_t errors = 0;
       PhaseBreakdown local;
       while (running.load(std::memory_order_relaxed)) {
-        OpTrace::Begin();
+        // One warming check per op, at begin: ops that start during
+        // warm-up are excluded from the accumulators AND carry the
+        // "warmup" trace label, so the causal-trace layer and the phase
+        // accumulators see the same op population (fig13's span-vs-
+        // accumulator cross-check filters by label).
+        bool warm = warming.load(std::memory_order_relaxed);
+        OpTrace::Begin(warm ? "warmup" : op_name);
         Status st = op(clients_[t].get(), t, seq++, rng);
         OpTraceData trace = OpTrace::Finish();
-        if (!warming.load(std::memory_order_relaxed)) {
+        if (!warm) {
           latency.Record(t, trace.total_us);
           local.Add(trace);
           ops++;
@@ -115,7 +125,7 @@ RunResult WorkloadRunner::RunCount(const OpFn& op, uint64_t ops_per_thread) {
       uint64_t errors = 0;
       PhaseBreakdown local;
       for (uint64_t seq = 0; seq < ops_per_thread; seq++) {
-        OpTrace::Begin();
+        OpTrace::Begin("setup");
         Status st = op(clients_[t].get(), t, seq, rng);
         OpTraceData trace = OpTrace::Finish();
         latency.Record(t, trace.total_us);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -77,6 +78,79 @@ TEST(MetricsRegistry, DumpJsonShapeAndEscaping) {
 
   std::string text = registry.DumpText();
   EXPECT_NE(text.find("a.count 3"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistry, DumpJsonEscapesBackslashesAndControlChars) {
+  MetricsRegistry registry;
+  // Instrument and probe names are caller-chosen strings; a backslash or
+  // an embedded quote must come out as valid JSON, not as a syntax error
+  // for whoever scrapes the dump.
+  registry.GetCounter("path\\with\\backslash")->Add(1);
+  registry.GetGauge("quote\"gauge")->Set(2);
+  uint64_t handle = registry.RegisterProbe("bs\\probe", [] {
+    return std::vector<std::pair<std::string, int64_t>>{{"k\\q\"", 7}};
+  });
+
+  std::string json = registry.DumpJson();
+  EXPECT_NE(json.find("\"path\\\\with\\\\backslash\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"quote\\\"gauge\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bs\\\\probe\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"k\\\\q\\\"\":7"), std::string::npos) << json;
+  // No raw (unescaped) backslash-sequence survives: every '\' in the
+  // output is itself escaped or starts an escape.
+  for (size_t i = 0; i + 1 < json.size(); i++) {
+    if (json[i] == '\\') {
+      char next = json[i + 1];
+      EXPECT_TRUE(next == '\\' || next == '"' || next == 'u' || next == 'n' ||
+                  next == 't' || next == 'r')
+          << "bad escape at " << i << " in " << json;
+      i++;  // skip the escaped char
+    }
+  }
+  registry.UnregisterProbe(handle);
+}
+
+TEST(MetricsRegistry, ProbeRegistrationRacesDumpJson) {
+  // DumpJson snapshots the probe list, then runs probes unlocked (so a
+  // probe may take subsystem locks that rank below the registry's). A
+  // probe registered or unregistered mid-dump may or may not appear in
+  // that dump — the contract is "may miss", never a crash, a deadlock,
+  // or a torn dump. Hammer the race under TSan.
+  MetricsRegistry registry;
+  registry.GetCounter("steady")->Add(1);
+  std::atomic<bool> stop{false};
+
+  std::thread churn([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::string name = "churn" + std::to_string(i++ % 7);
+      uint64_t h = registry.RegisterProbe(name, [] {
+        return std::vector<std::pair<std::string, int64_t>>{{"v", 1}};
+      });
+      registry.UnregisterProbe(h);
+    }
+  });
+
+  for (int i = 0; i < 200; i++) {
+    std::string json = registry.DumpJson();
+    // The steady instrument is always present; dumps stay well-formed at
+    // the ends regardless of how the probe churn interleaves.
+    EXPECT_NE(json.find("\"steady\":1"), std::string::npos);
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+  }
+  stop.store(true);
+  churn.join();
+
+  // After the churn thread has quiesced, a freshly registered probe is
+  // guaranteed visible (may-miss only applies to concurrent dumps).
+  uint64_t h = registry.RegisterProbe("settled", [] {
+    return std::vector<std::pair<std::string, int64_t>>{{"present", 5}};
+  });
+  EXPECT_NE(registry.DumpJson().find("\"present\":5"), std::string::npos);
+  registry.UnregisterProbe(h);
 }
 
 TEST(MetricsRegistry, ResetAllZeroesInstruments) {

@@ -1,0 +1,407 @@
+// Unit tests for the causal-tracing layer (src/common/trace_event.h):
+// sampling policy (head + tail), bounded stores, ring wrap accounting,
+// span-tree structure, node attribution through SimNet, the Perfetto
+// export, and the span-vs-accumulator phase agreement the Fig 13
+// cross-check relies on.
+//
+// All tests drive the process-wide TraceCollector::Global(). Head
+// sampling counts ops per THREAD, so tests needing a deterministic
+// sample position run their workload in a fresh std::thread.
+
+#include "src/common/trace_event.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/net/simnet.h"
+
+namespace cfs {
+namespace trace {
+namespace {
+
+void SleepMicros(int64_t us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+// Enables tracing with tail capture off unless asked for; every test
+// leaves the collector disabled and empty for the next one.
+class TraceEventTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Disable(); }
+
+  static void Enable(uint32_t sample_every, int64_t slow_us = 0,
+                     size_t ring_capacity = 4096, size_t max_slow_ops = 64) {
+    TraceOptions options;
+    options.enabled = true;
+    options.sample_every = sample_every;
+    options.slow_op_threshold_us = slow_us;
+    options.ring_capacity = ring_capacity;
+    options.max_slow_ops = max_slow_ops;
+    TraceCollector::Global().Configure(options);
+    TraceCollector::Global().Reset();
+  }
+
+  static void Disable() {
+    TraceOptions off;
+    off.enabled = false;
+    TraceCollector::Global().Configure(off);
+    TraceCollector::Global().Reset();
+  }
+
+  // Runs `fn` on a brand-new thread (fresh per-thread op counter and
+  // ring) and joins it.
+  template <typename Fn>
+  static void OnFreshThread(Fn fn) {
+    std::thread t(fn);
+    t.join();
+  }
+};
+
+TEST_F(TraceEventTest, DisabledLayerIsInert) {
+  Disable();
+  EXPECT_FALSE(Active());
+  OnFreshThread([] {
+    BeginOp("ignored");
+    EXPECT_FALSE(Active());
+    EXPECT_EQ(CurrentTraceId(), 0u);
+    {
+      ScopedSpan span(Category::kExec, "nothing");
+      Instant(Category::kCache, "nothing");
+    }
+    FinishOp(123456);
+  });
+  TraceCollector::Stats stats = TraceCollector::Global().stats();
+  EXPECT_EQ(stats.ops_seen, 0u);
+  EXPECT_EQ(stats.ops_retained, 0u);
+  EXPECT_TRUE(TraceCollector::Global().SnapshotRetained().empty());
+  EXPECT_TRUE(TraceCollector::Global().SnapshotSlowOps().empty());
+}
+
+TEST_F(TraceEventTest, BothTriggersOffRecordsNothing) {
+  // "Enabled with sampling disabled" must cost the same as disabled: no
+  // retention trigger is armed, so BeginOp refuses to activate and spans
+  // stay one-boolean no-ops (the bench_compare.sh tracing-tax mode).
+  Enable(/*sample_every=*/0, /*slow_us=*/0);
+  OnFreshThread([] {
+    BeginOp("never");
+    EXPECT_FALSE(Active());
+    { ScopedSpan span(Category::kExec, "nothing"); }
+    FinishOp(999999);
+  });
+  EXPECT_EQ(TraceCollector::Global().stats().ops_seen, 0u);
+  EXPECT_TRUE(TraceCollector::Global().SnapshotRetained().empty());
+  EXPECT_TRUE(TraceCollector::Global().SnapshotSlowOps().empty());
+}
+
+TEST_F(TraceEventTest, HeadSamplingRetainsEveryNthOpPerThread) {
+  Enable(/*sample_every=*/2);
+  OnFreshThread([] {
+    for (int i = 0; i < 5; i++) {
+      BeginOp(("op" + std::to_string(i)).c_str());
+      EXPECT_TRUE(Active());
+      EXPECT_NE(CurrentTraceId(), 0u);
+      FinishOp(10);
+    }
+  });
+  // Ops 0, 2, 4 are the 1st, 3rd, 5th begun on that thread.
+  std::vector<OpRecord> retained = TraceCollector::Global().SnapshotRetained();
+  ASSERT_EQ(retained.size(), 3u);
+  EXPECT_EQ(retained[0].name, "op0");
+  EXPECT_EQ(retained[1].name, "op2");
+  EXPECT_EQ(retained[2].name, "op4");
+  EXPECT_NE(retained[0].trace_id, retained[1].trace_id);
+  for (const OpRecord& op : retained) {
+    EXPECT_FALSE(op.slow);
+    ASSERT_FALSE(op.events.empty());
+    // The root op span is emitted last and parents the tree.
+    EXPECT_EQ(op.events.back().category, Category::kOp);
+    EXPECT_EQ(op.events.back().parent_span_id, 0u);
+  }
+  TraceCollector::Stats stats = TraceCollector::Global().stats();
+  EXPECT_EQ(stats.ops_seen, 5u);
+  EXPECT_EQ(stats.ops_retained, 3u);
+  EXPECT_EQ(stats.ops_slow, 0u);
+}
+
+TEST_F(TraceEventTest, TailCaptureCatchesSlowOpsHeadSamplingSkipped) {
+  // Head sampling fully off; only the tail-capture trigger retains.
+  Enable(/*sample_every=*/0, /*slow_us=*/1000);
+  OnFreshThread([] {
+    BeginOp("fast");
+    FinishOp(500);
+    BeginOp("slow");
+    FinishOp(5000);
+  });
+  EXPECT_TRUE(TraceCollector::Global().SnapshotRetained().empty());
+  std::vector<OpRecord> slow = TraceCollector::Global().SnapshotSlowOps();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].name, "slow");
+  EXPECT_TRUE(slow[0].slow);
+  EXPECT_EQ(slow[0].total_us, 5000);
+  TraceCollector::Stats stats = TraceCollector::Global().stats();
+  EXPECT_EQ(stats.ops_seen, 2u);
+  EXPECT_EQ(stats.ops_slow, 1u);
+}
+
+TEST_F(TraceEventTest, SlowOpLogIsBoundedAndKeepsSlowest) {
+  Enable(/*sample_every=*/0, /*slow_us=*/100, /*ring_capacity=*/4096,
+         /*max_slow_ops=*/2);
+  OnFreshThread([] {
+    const int64_t totals[] = {200, 400, 300, 1000};
+    for (int64_t total : totals) {
+      BeginOp("op");
+      FinishOp(total);
+    }
+  });
+  // Bounded at 2; 300 never displaces 400, 1000 evicts the fastest (200).
+  std::vector<OpRecord> slow = TraceCollector::Global().SnapshotSlowOps();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].total_us, 1000);  // slowest first
+  EXPECT_EQ(slow[1].total_us, 400);
+}
+
+TEST_F(TraceEventTest, RingWrapDropsOldestAndCountsThem) {
+  Enable(/*sample_every=*/1, /*slow_us=*/0, /*ring_capacity=*/16);
+  OnFreshThread([] {
+    BeginOp("wrapper");
+    for (int i = 0; i < 40; i++) Instant(Category::kCache, "tick");
+    FinishOp(10);
+  });
+  std::vector<OpRecord> retained = TraceCollector::Global().SnapshotRetained();
+  ASSERT_EQ(retained.size(), 1u);
+  const OpRecord& op = retained[0];
+  // 40 instants + 1 root span emitted; the ring holds 16.
+  EXPECT_EQ(op.events.size(), 16u);
+  EXPECT_EQ(op.dropped, 25u);
+  // The most recent events survive — the root span is still the last.
+  EXPECT_EQ(op.events.back().category, Category::kOp);
+  EXPECT_EQ(TraceCollector::Global().stats().events_dropped, 25u);
+}
+
+TEST_F(TraceEventTest, SpanTreeParentLinksAndCompleteSpans) {
+  Enable(/*sample_every=*/1);
+  OnFreshThread([] {
+    BeginOp("tree");
+    {
+      ScopedSpan outer(Category::kResolve, "outer");
+      {
+        ScopedSpan inner(Category::kResolve, "inner");
+        Instant(Category::kCache, "hit");
+      }
+      CompleteSpan(Category::kLock, "queue_wait", 250);
+    }
+    FinishOp(10);
+  });
+  std::vector<OpRecord> retained = TraceCollector::Global().SnapshotRetained();
+  ASSERT_EQ(retained.size(), 1u);
+  const OpRecord& op = retained[0];
+
+  auto find = [&](const char* name) -> const Event* {
+    for (const Event& e : op.events) {
+      if (std::string(e.name) == name) return &e;
+    }
+    return nullptr;
+  };
+  const Event* outer = find("outer");
+  const Event* inner = find("inner");
+  const Event* hit = find("hit");
+  const Event* wait = find("queue_wait");
+  const Event* root = &op.events.back();
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(hit, nullptr);
+  ASSERT_NE(wait, nullptr);
+  // Causal chain: root -> outer -> {inner -> hit, queue_wait}.
+  EXPECT_EQ(outer->parent_span_id, root->span_id);
+  EXPECT_EQ(inner->parent_span_id, outer->span_id);
+  EXPECT_EQ(hit->parent_span_id, inner->span_id);
+  EXPECT_EQ(hit->type, EventType::kInstant);
+  EXPECT_EQ(wait->parent_span_id, outer->span_id);
+  EXPECT_EQ(wait->dur_us, 250);
+
+  std::string tree = FormatOpTree(op, TraceCollector::Global());
+  EXPECT_NE(tree.find("tree"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("outer"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("queue_wait"), std::string::npos) << tree;
+}
+
+TEST_F(TraceEventTest, PhaseSharesAgreeWithOpTraceAccumulators) {
+  // The Fig 13 acceptance cross-check in unit form: TraceSpan feeds the
+  // OpTrace accumulator and the event stream from ONE pair of clock
+  // reads, and PhaseUsFromEvents applies the same outermost-span-owns
+  // rule, so the two readouts agree to integer-division error (~1us per
+  // span boundary).
+  Enable(/*sample_every=*/1);
+  PhaseBreakdown accumulated;
+  OnFreshThread([&accumulated] {
+    OpTrace::Begin("agree");
+    {
+      TraceSpan resolve(Phase::kResolve);
+      SleepMicros(2000);
+      {
+        TraceSpan nested(Phase::kResolve);  // same phase: union, not sum
+        SleepMicros(1000);
+      }
+    }
+    {
+      TraceSpan exec(Phase::kShardExec);
+      SleepMicros(1500);
+    }
+    accumulated.Add(OpTrace::Finish());
+  });
+  std::vector<OpRecord> retained = TraceCollector::Global().SnapshotRetained();
+  ASSERT_EQ(retained.size(), 1u);
+  std::vector<int64_t> span_us =
+      PhaseUsFromEvents(retained[0].events, kNumPhases);
+  const size_t resolve = static_cast<size_t>(Phase::kResolve);
+  const size_t exec = static_cast<size_t>(Phase::kShardExec);
+  EXPECT_GE(span_us[resolve], 2000);
+  EXPECT_GE(span_us[exec], 1500);
+  EXPECT_NEAR(static_cast<double>(span_us[resolve]),
+              static_cast<double>(accumulated.us[resolve]), 5.0);
+  EXPECT_NEAR(static_cast<double>(span_us[exec]),
+              static_cast<double>(accumulated.us[exec]), 5.0);
+}
+
+TEST_F(TraceEventTest, SimNetCallAttributesSpansToDestinationNode) {
+  Enable(/*sample_every=*/1);
+  SimNet net;  // zero-latency mode: handlers run inline on the caller
+  NodeId client = net.AddNode("client", 0);
+  NodeId shard = net.AddNode("tafdb-s1", 1);
+  const uint32_t shard_node = net.TraceNodeOf(shard);
+  EXPECT_NE(shard_node, kNoNode);
+
+  OnFreshThread([&] {
+    BeginOp("create");
+    Status st = net.Call(client, shard, [&]() -> Status {
+      ScopedSpan span(Category::kExec, "primitive");
+      EXPECT_EQ(CurrentNode(), shard_node);
+      return Status::Ok();
+    });
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(CurrentNode(), kNoNode);  // popped after the handler
+    FinishOp(10);
+  });
+
+  std::vector<OpRecord> retained = TraceCollector::Global().SnapshotRetained();
+  ASSERT_EQ(retained.size(), 1u);
+  const Event* primitive = nullptr;
+  const Event* rpc = nullptr;
+  for (const Event& e : retained[0].events) {
+    if (std::string(e.name) == "primitive") primitive = &e;
+    if (e.category == Category::kRpc) rpc = &e;
+  }
+  ASSERT_NE(primitive, nullptr);
+  EXPECT_EQ(primitive->node, shard_node);
+  ASSERT_NE(rpc, nullptr);  // the SimNet edge span
+  EXPECT_EQ(rpc->node, shard_node);
+  EXPECT_EQ(TraceCollector::Global().NodeName(primitive->node), "tafdb-s1");
+
+  // Same name -> same interned id, across SimNet instances.
+  EXPECT_EQ(TraceCollector::Global().InternNode("tafdb-s1"), shard_node);
+
+  // The text rendering shows the attribution.
+  std::string tree =
+      FormatOpTree(retained[0], TraceCollector::Global());
+  EXPECT_NE(tree.find("[tafdb-s1]"), std::string::npos) << tree;
+}
+
+TEST_F(TraceEventTest, PerfettoJsonIsWellFormedWithCausalArgs) {
+  Enable(/*sample_every=*/1);
+  OnFreshThread([] {
+    OpScope op("background");
+    ScopedSpan span(Category::kGc, "scan");
+  });
+  std::string json = TraceCollector::Global().DumpPerfettoJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":"), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\":"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"gc\""), std::string::npos);
+  // Balanced braces/brackets — a cheap structural validity check that
+  // needs no JSON parser.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); i++) {
+    char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(TraceEventTest, ResetDropsOpsButKeepsNodeTableAndConfig) {
+  Enable(/*sample_every=*/1);
+  uint32_t node = TraceCollector::Global().InternNode("sticky");
+  OnFreshThread([] {
+    BeginOp("op");
+    FinishOp(10);
+  });
+  ASSERT_FALSE(TraceCollector::Global().SnapshotRetained().empty());
+  TraceCollector::Global().Reset();
+  EXPECT_TRUE(TraceCollector::Global().SnapshotRetained().empty());
+  EXPECT_EQ(TraceCollector::Global().stats().ops_seen, 0u);
+  EXPECT_TRUE(TraceCollector::Global().enabled());
+  EXPECT_EQ(TraceCollector::Global().InternNode("sticky"), node);
+  EXPECT_EQ(TraceCollector::Global().NodeName(node), "sticky");
+}
+
+TEST_F(TraceEventTest, ConcurrentOpsSnapshotsAndDumps) {
+  // Writers record ops while a reader snapshots and exports: the drain
+  // path (per-thread ring -> collector under mu_) and the read path must
+  // be free of races (this test is in check.sh's TSan leg).
+  Enable(/*sample_every=*/4, /*slow_us=*/1);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 200;
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)TraceCollector::Global().SnapshotRetained();
+      (void)TraceCollector::Global().SnapshotSlowOps();
+      (void)TraceCollector::Global().DumpPerfettoJson();
+      (void)TraceCollector::Global().stats();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < kOps; i++) {
+        BeginOp("concurrent");
+        {
+          ScopedSpan span(Category::kExec, "work");
+          Instant(Category::kCache, "tick");
+        }
+        FinishOp((t * kOps + i) % 97);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  reader.join();
+
+  TraceCollector::Stats stats = TraceCollector::Global().stats();
+  EXPECT_EQ(stats.ops_seen, static_cast<uint64_t>(kThreads) * kOps);
+  // Retained + slow stay within their configured bounds.
+  const TraceOptions& options = TraceCollector::Global().options();
+  EXPECT_LE(TraceCollector::Global().SnapshotRetained().size(),
+            options.max_retained_ops);
+  EXPECT_LE(TraceCollector::Global().SnapshotSlowOps().size(),
+            options.max_slow_ops);
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace cfs
