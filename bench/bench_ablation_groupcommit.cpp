@@ -46,11 +46,10 @@ int main() {
     for (int which = 0; which < 2; which++) {
       System system = MakeCfsWithBatch(batch);
       PreparePopulation(system, clients, 0, 0);
-      WorkloadRunner runner(system.MakeClients(clients));
-      kops[which] =
-          runner.Run(MakeCreateOp(which == 0 ? 0.0 : 1.0), duration,
-                     duration / 4)
-              .kops();
+      kops[which] = RunWorkload(system, clients,
+                                MakeCreateOp(which == 0 ? 0.0 : 1.0),
+                                duration, duration / 4)
+                        .kops();
       system.stop();
     }
     std::printf("%-16s %14.2f %14.2f\n",

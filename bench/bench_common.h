@@ -2,15 +2,30 @@
 // InfiniFS-like, CFS and its ablation variants) at "bench scale" — the
 // paper's 50-server / 500-client testbed scaled to a single machine (see
 // EXPERIMENTS.md):
-//   - sleep-mode SimNet latency (150 us cross-node RTT, 30 us WAL fsync),
+//   - injected SimNet latency (150 us cross-node RTT, 30 us WAL fsync),
+//     paid as real sleeps (wall-clock mode) or as virtual time (sim mode),
 //   - 8 physical servers, 8 TafDB shards, 8 FileStore nodes, 4 proxies,
-//   - up to ~64 client threads (each mostly blocked in simulated RPCs).
+//   - wall-clock mode: up to ~64 client OS threads (each mostly blocked in
+//     simulated RPCs); sim mode: tens of thousands of simulated clients.
 //
 // Every bench binary prints paper-style rows; durations and client counts
 // can be scaled via env vars:
-//   CFS_BENCH_DURATION_MS (default 2000)   per measured point
+//   CFS_BENCH_DURATION_MS (default 2000)   per measured point (wall clock)
 //   CFS_BENCH_CLIENTS     (default 48)     "500 concurrent clients"
 //   CFS_BENCH_LARGEDIR_FILES (default 20000)  Fig 12 population
+//
+// Simulation mode (DESIGN.md §11). CFS_SIM=1 switches every bench from
+// sleep-injected latency + one OS thread per client to a discrete-event
+// virtual clock (LatencyMode::kVirtual, inline raft replication, GC off)
+// with simulated clients (WorkloadRunner::RunSimulated). Runs are
+// deterministic: same seed, same results, bit for bit. Sim knobs:
+//   CFS_SIM             (default 0)    1 = simulate
+//   CFS_SIM_SEED        (default 42)   scheduler + jitter + workload seed
+//   CFS_SIM_DURATION_MS (default 25)   measured VIRTUAL window per point
+//   CFS_SIM_WARMUP_MS   (default CFS_SIM_DURATION_MS/4)  virtual warmup
+//   CFS_SIM_CLIENTS     (default 10000)  bench_fig10_simscale client count
+// Throughput printed in sim mode is virtual ops/s (ops per simulated
+// second) — not comparable to wall-clock numbers (bench_results/BASELINE.md).
 //
 // Causal tracing (src/common/trace_event.h) is driven by TraceSession:
 //   CFS_BENCH_TRACE_OUT        output directory; unset = tracing off
@@ -34,6 +49,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/simtime.h"
 #include "src/common/trace_event.h"
 #include "src/baselines/hopsfs/hopsfs.h"
 #include "src/baselines/infinifs/infinifs.h"
@@ -54,9 +70,31 @@ inline size_t Clients() {
   return static_cast<size_t>(EnvInt("CFS_BENCH_CLIENTS", 48));
 }
 
+// Virtual-time simulation configuration (see the header comment; knobs are
+// read once).
+struct SimConfig {
+  bool enabled = false;
+  uint64_t seed = 42;
+  int64_t duration_ms = 25;
+  int64_t warmup_ms = 6;
+};
+
+inline const SimConfig& Sim() {
+  static const SimConfig config = [] {
+    SimConfig s;
+    s.enabled = EnvInt("CFS_SIM", 0) != 0;
+    s.seed = static_cast<uint64_t>(EnvInt("CFS_SIM_SEED", 42));
+    s.duration_ms = EnvInt("CFS_SIM_DURATION_MS", 25);
+    s.warmup_ms = EnvInt("CFS_SIM_WARMUP_MS", s.duration_ms / 4);
+    return s;
+  }();
+  return config;
+}
+
 inline NetOptions BenchNet() {
   NetOptions net;
-  net.mode = LatencyMode::kSleep;
+  net.mode = Sim().enabled ? LatencyMode::kVirtual : LatencyMode::kSleep;
+  net.seed = Sim().seed;
   net.cross_node_rtt_us = 150;
   net.same_node_rtt_us = 5;
   net.jitter_pct = 10;
@@ -70,6 +108,9 @@ inline RaftOptions BenchRaft() {
   raft.election_timeout_max_ms = 800;
   raft.heartbeat_interval_ms = 100;
   raft.wal.fsync_delay_us = 30;  // NVMe-class WAL flush
+  // Sim mode replicates synchronously on the proposing (scheduler) thread;
+  // no ticker/replicator/heartbeat threads exist to perturb the run.
+  raft.inline_replication = Sim().enabled;
   return raft;
 }
 
@@ -88,6 +129,9 @@ inline CfsOptions BenchCfsOptions(CfsOptions base) {
   base.filestore.raft = BenchRaft();
   base.renamer.raft = BenchRaft();
   base.gc_interval_ms = 500;
+  // The GC thread ticks on the wall clock, outside virtual time; disable
+  // it in sim mode so runs are deterministic.
+  if (Sim().enabled) base.start_gc = false;
   return base;
 }
 
@@ -153,8 +197,12 @@ inline System MakeInfiniFs() {
                 [cluster] { return cluster->net(); }};
 }
 
-inline System MakeCfs(const std::string& name, CfsOptions options) {
-  auto fs = std::make_shared<Cfs>(BenchCfsOptions(std::move(options)));
+// Builds a System from fully-configured options (no BenchCfsOptions
+// defaults applied) — for benches that configure legs explicitly, e.g.
+// bench_fig10_simscale running a wall-clock leg and a virtual-time leg in
+// one process regardless of CFS_SIM.
+inline System MakeCfsConfigured(const std::string& name, CfsOptions options) {
+  auto fs = std::make_shared<Cfs>(std::move(options));
   Status st = fs->Start();
   if (!st.ok()) {
     std::fprintf(stderr, "%s start failed: %s\n", name.c_str(),
@@ -165,6 +213,31 @@ inline System MakeCfs(const std::string& name, CfsOptions options) {
                 [fs] { return fs->NewClient(); },
                 [fs] { fs->Stop(); },
                 [fs] { return fs->net(); }};
+}
+
+inline System MakeCfs(const std::string& name, CfsOptions options) {
+  return MakeCfsConfigured(name, BenchCfsOptions(std::move(options)));
+}
+
+// Forces a mode onto fully-built options — what BenchCfsOptions picks from
+// CFS_SIM, made explicit for MakeCfsConfigured callers.
+inline CfsOptions WithSimMode(CfsOptions options, uint64_t seed) {
+  options.net.mode = LatencyMode::kVirtual;
+  options.net.seed = seed;
+  options.tafdb.raft.inline_replication = true;
+  options.filestore.raft.inline_replication = true;
+  options.renamer.raft.inline_replication = true;
+  options.start_gc = false;
+  return options;
+}
+
+inline CfsOptions WithWallMode(CfsOptions options) {
+  options.net.mode = LatencyMode::kSleep;
+  options.tafdb.raft.inline_replication = false;
+  options.filestore.raft.inline_replication = false;
+  options.renamer.raft.inline_replication = false;
+  options.start_gc = true;
+  return options;
 }
 
 inline System MakeCfsFull() { return MakeCfs("CFS", CfsFullOptions()); }
@@ -195,6 +268,28 @@ inline void PreparePopulation(const System& system, size_t clients,
   if (shared_files > 0) {
     (void)PopulateDirectory(raw, "/shared", shared_files);
   }
+}
+
+// Closed loop of `op` over `clients` fresh clients of `system` — the one
+// call every fig bench measures through, so CFS_SIM transparently switches
+// the whole suite. Wall-clock mode: one OS thread per client for
+// `duration_ms` (+ `warmup_ms`). Sim mode: simulated clients on a fresh
+// scheduler seeded with CFS_SIM_SEED, for CFS_SIM_DURATION_MS of virtual
+// time (the caller's durations are wall-clock budgets and do not apply);
+// the client count still comes from the caller, so sweeps keep their
+// shape, and each point gets its own scheduler, so points are
+// independently replayable.
+inline RunResult RunWorkload(const System& system, size_t clients,
+                             const OpFn& op, int64_t duration_ms,
+                             int64_t warmup_ms,
+                             const std::string& trace_label = "") {
+  WorkloadRunner runner(system.MakeClients(clients));
+  if (!Sim().enabled) {
+    return runner.Run(op, duration_ms, warmup_ms, trace_label);
+  }
+  simtime::Scheduler sched(Sim().seed);
+  return runner.RunSimulated(sched, op, Sim().duration_ms, Sim().warmup_ms,
+                             trace_label);
 }
 
 inline void PrintHeader(const std::string& title) {

@@ -31,15 +31,16 @@ int main() {
                    clients);
       PreparePopulation(system, clients, /*files_per_dir=*/64, 0);
       {
-        WorkloadRunner runner(system.MakeClients(clients));
-        RunResult result = runner.Run(MakeCreateOp(0.0), duration, duration / 4);
+        RunResult result =
+            RunWorkload(system, clients, MakeCreateOp(0.0), duration,
+                        duration / 4);
         point.create_kops.push_back(result.kops());
         json.Add(system.name, "create/c" + std::to_string(clients), result);
       }
       {
-        WorkloadRunner runner(system.MakeClients(clients));
-        RunResult result =
-            runner.Run(MakeGetAttrOp(0.0, 64, 0), duration, duration / 4);
+        RunResult result = RunWorkload(system, clients,
+                                       MakeGetAttrOp(0.0, 64, 0), duration,
+                                       duration / 4);
         point.getattr_kops.push_back(result.kops());
         json.Add(system.name, "getattr/c" + std::to_string(clients), result);
       }

@@ -35,16 +35,16 @@ int main() {
       PreparePopulation(system, clients, 0, 0);
       std::string pct = std::to_string(static_cast<int>(contention * 100));
       {
-        WorkloadRunner runner(system.MakeClients(clients));
-        RunResult result =
-            runner.Run(MakeCreateOp(contention), duration, duration / 4);
+        RunResult result = RunWorkload(system, clients,
+                                       MakeCreateOp(contention), duration,
+                                       duration / 4);
         row.create_kops.push_back(result.kops());
         json.Add(system.name, "create/cont" + pct, result);
       }
       {
-        WorkloadRunner runner(system.MakeClients(clients));
-        RunResult result =
-            runner.Run(MakeMkdirOp(contention), duration, duration / 4);
+        RunResult result = RunWorkload(system, clients,
+                                       MakeMkdirOp(contention), duration,
+                                       duration / 4);
         row.mkdir_kops.push_back(result.kops());
         json.Add(system.name, "mkdir/cont" + pct, result);
       }

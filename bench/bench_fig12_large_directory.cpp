@@ -53,8 +53,8 @@ int main() {
     Row row;
     row.system = system.name;
     for (size_t i = 0; i < 7; i++) {
-      WorkloadRunner runner(system.MakeClients(clients));
-      RunResult result = runner.Run(MakeLargeDirOp(ops[i], "/bigdir", population),
+      RunResult result = RunWorkload(system, clients,
+                                     MakeLargeDirOp(ops[i], "/bigdir", population),
                                     duration, duration / 4);
       row.kops[i] = result.kops();
       json.Add(system.name, std::string(MetaOpName(ops[i])), result);

@@ -91,9 +91,9 @@ int main() {
     Row row{};
     row.name = config.name;
     for (int i = 0; i < 3; i++) {
-      WorkloadRunner runner(system.MakeClients(clients));
       std::string label = "fig13." + config.name + "." + op_names[i];
-      RunResult result = runner.Run(ops[i], duration, duration / 4, label);
+      RunResult result =
+          RunWorkload(system, clients, ops[i], duration, duration / 4, label);
       row.kops[i] = result.kops();
       row.avg_us[i] = result.latency.mean();
       row.phases[i] = result.phases;

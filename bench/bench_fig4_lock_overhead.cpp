@@ -49,9 +49,9 @@ int main() {
     for (double contention : contentions) {
       System system = MakeSmallHopsFs();
       PreparePopulation(system, clients, 0, 0);
-      WorkloadRunner runner(system.MakeClients(clients));
-      RunResult result =
-          runner.Run(MakeCreateOp(contention), duration, duration / 4);
+      RunResult result = RunWorkload(system, clients,
+                                     MakeCreateOp(contention), duration,
+                                     duration / 4);
       std::printf("  %7.2f", result.kops());
       std::fflush(stdout);
       system.stop();
@@ -71,11 +71,10 @@ int main() {
     System system = MakeSmallHopsFs();
     size_t clients = 12;
     PreparePopulation(system, clients, 0, 0);
-    WorkloadRunner runner(system.MakeClients(clients));
     std::string label =
         "fig4.create.c" + std::to_string(static_cast<int>(contention * 100));
-    RunResult result =
-        runner.Run(MakeCreateOp(contention), duration, duration / 4, label);
+    RunResult result = RunWorkload(system, clients, MakeCreateOp(contention),
+                                   duration, duration / 4, label);
     const PhaseBreakdown& ph = result.phases;
     double total = ph.AvgTotalUs();
     double lock = ph.AvgPhaseUs(Phase::kLockWait);

@@ -61,16 +61,15 @@ int main() {
 
     // (a) peak throughput with many clients.
     for (size_t i = 0; i < 7; i++) {
-      WorkloadRunner runner(system.MakeClients(clients));
-      RunResult result = runner.Run(kOps[i].make(), duration, duration / 4);
+      RunResult result =
+          RunWorkload(system, clients, kOps[i].make(), duration, duration / 4);
       row.kops[i] = result.kops();
       json.Add(system.name, std::string(kOps[i].name) + "/peak", result);
     }
     // (b) average latency with a single light client.
     for (size_t i = 0; i < 7; i++) {
-      WorkloadRunner runner(system.MakeClients(1));
       RunResult result =
-          runner.Run(kOps[i].make(), duration / 2, duration / 8);
+          RunWorkload(system, 1, kOps[i].make(), duration / 2, duration / 8);
       row.avg_us[i] = result.latency.mean();
       json.Add(system.name, std::string(kOps[i].name) + "/light", result);
     }

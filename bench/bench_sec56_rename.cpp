@@ -55,8 +55,8 @@ int main() {
       for (auto& th : threads) th.join();
     }
 
-    WorkloadRunner runner(system.MakeClients(clients));
-    RunResult result = runner.Run(MakeRenameOp(0.9), duration, duration / 4);
+    RunResult result =
+        RunWorkload(system, clients, MakeRenameOp(0.9), duration, duration / 4);
     std::printf("%-10s %12.0f %10.0f %10lld %10lld\n", system.name.c_str(),
                 result.ops_per_sec(), result.latency.mean(),
                 static_cast<long long>(result.latency.P99()),

@@ -122,3 +122,50 @@ if [[ "$code_cats" != "$doc_cats" ]]; then
   exit 1
 fi
 echo "docs_lint: DESIGN.md §10 covers all $(echo "$code_phases" | wc -l) phases and $(echo "$code_cats" | wc -l) trace categories"
+
+# Virtual-time documentation (DESIGN.md §11): every LatencyMode enumerator
+# in src/net/simnet.h must appear in the "Virtual time and determinism"
+# section, so the documented mode matrix can't drift from the enum.
+modes=$(awk '/^enum class LatencyMode \{/,/^\};/' src/net/simnet.h |
+        grep -oE '^\s*k[A-Za-z]+' | tr -d ' ' | sort -u)
+if [[ -z "$modes" ]]; then
+  echo "docs_lint: failed to extract LatencyMode enumerators from src/net/simnet.h" >&2
+  exit 1
+fi
+section=$(awk '/^## 11\. Virtual time/,/^## 12\./' DESIGN.md)
+if [[ -z "$section" ]]; then
+  echo "docs_lint: DESIGN.md has no '## 11. Virtual time' section" >&2
+  exit 1
+fi
+missing=0
+for mode in $modes; do
+  if ! grep -q "\`$mode\`" <<< "$section"; then
+    echo "docs_lint: LatencyMode::$mode is not documented in DESIGN.md §11" >&2
+    missing=1
+  fi
+done
+if [[ "$missing" -ne 0 ]]; then
+  echo "docs_lint: add the missing latency mode(s) to DESIGN.md §11's mode matrix" >&2
+  exit 1
+fi
+echo "docs_lint: DESIGN.md §11 covers all $(echo "$modes" | wc -l) latency modes"
+
+# Every CFS_SIM* env knob read anywhere in bench/ must appear in
+# README.md's simulation knob table (same rule as CfsOptions fields).
+sim_knobs=$(grep -rhoE 'CFS_SIM[A-Z0-9_]*' bench/ | sort -u)
+if [[ -z "$sim_knobs" ]]; then
+  echo "docs_lint: failed to extract CFS_SIM* knobs from bench/" >&2
+  exit 1
+fi
+missing=0
+for knob in $sim_knobs; do
+  if ! grep -q "\`$knob\`" README.md; then
+    echo "docs_lint: simulation knob $knob is not documented in README.md" >&2
+    missing=1
+  fi
+done
+if [[ "$missing" -ne 0 ]]; then
+  echo "docs_lint: add the missing knob(s) to README.md's simulation-model table" >&2
+  exit 1
+fi
+echo "docs_lint: README.md covers all $(echo "$sim_knobs" | wc -l) CFS_SIM* knobs"

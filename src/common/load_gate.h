@@ -18,6 +18,8 @@
 #include <semaphore>
 #include <thread>
 
+#include "src/common/simtime.h"
+
 namespace cfs {
 
 class LoadGate {
@@ -31,9 +33,17 @@ class LoadGate {
   LoadGate& operator=(const LoadGate&) = delete;
 
   // Charges one request's processing: waits for a slot, holds it for the
-  // processing duration, releases.
+  // processing duration, releases. Under a driving simtime::Scheduler the
+  // cost accrues onto the virtual clock instead; the concurrency bound is
+  // not modelled there (a single scheduler thread never contends the
+  // semaphore — queueing-at-capacity is a real-thread-mode effect,
+  // DESIGN.md §11).
   void Charge() const {
     if (processing_us_ <= 0) return;
+    if (simtime::Current() != nullptr) {
+      simtime::AdvanceOrSleepUs(processing_us_);
+      return;
+    }
     sem_.acquire();
     std::this_thread::sleep_for(std::chrono::microseconds(processing_us_));
     sem_.release();

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/common/lock_order.h"
+#include "src/common/simtime.h"
 #include "src/common/trace_event.h"
 
 namespace cfs {
@@ -329,13 +330,13 @@ OpTrace::Tls& OpTrace::tls() {
 void OpTrace::Begin(const char* op_name) {
   Tls& t = tls();
   t.data = OpTraceData{};
-  t.op_start = RealClock::Get()->NowNanos();
+  t.op_start = simtime::NowNanosOrReal();
   trace::BeginOp(op_name);
 }
 
 OpTraceData OpTrace::Finish() {
   Tls& t = tls();
-  t.data.total_us = (RealClock::Get()->NowNanos() - t.op_start) / 1000;
+  t.data.total_us = (simtime::NowNanosOrReal() - t.op_start) / 1000;
   trace::FinishOp(t.data.total_us);
   return t.data;
 }
@@ -403,12 +404,12 @@ TraceSpan::TraceSpan(Phase phase, const char* name)
   if (emit_) span_id_ = trace::PushSpan(&saved_parent_);
   // One clock read feeds both the accumulator and the causal event, so the
   // two stay in agreement by construction.
-  if (owns_ || emit_) start_ = RealClock::Get()->NowNanos();
+  if (owns_ || emit_) start_ = simtime::NowNanosOrReal();
 }
 
 TraceSpan::~TraceSpan() {
   if (!owns_ && !emit_) return;
-  MonoNanos end = RealClock::Get()->NowNanos();
+  MonoNanos end = simtime::NowNanosOrReal();
   if (owns_) {
     OpTrace::Tls& t = OpTrace::tls();
     size_t i = static_cast<size_t>(phase_);

@@ -1,0 +1,92 @@
+#include "src/common/simtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+namespace cfs {
+namespace simtime {
+namespace {
+
+thread_local Scheduler* t_current = nullptr;
+
+}  // namespace
+
+Scheduler::Scheduler(uint64_t seed)
+    : seed_(seed), rng_state_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+Scheduler::~Scheduler() {
+  CFS_CHECK(!running_);
+  CFS_CHECK(t_current != this);
+}
+
+void Scheduler::At(int64_t t_us, std::function<void()> fn) {
+  // Scheduling is only legal from the driving thread: the heap is
+  // deliberately unsynchronized so dispatch order is a pure function of
+  // its contents.
+  CFS_CHECK(!running_ || t_current == this);
+  heap_.push_back(Event{std::max(t_us, now_us_), next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+}
+
+void Scheduler::After(int64_t delta_us, std::function<void()> fn) {
+  At(task_now_us() + std::max<int64_t>(delta_us, 0), std::move(fn));
+}
+
+void Scheduler::RunUntil(int64_t deadline_us) {
+  CFS_CHECK(!running_);
+  CFS_CHECK(t_current == nullptr);
+  running_ = true;
+  t_current = this;
+  while (!heap_.empty() && heap_.front().t_us <= deadline_us) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    Event event = std::move(heap_.back());
+    heap_.pop_back();
+    now_us_ = std::max(now_us_, event.t_us);
+    accrued_us_ = 0;
+    events_run_++;
+    event.fn();
+  }
+  now_us_ = std::max(now_us_, deadline_us);
+  accrued_us_ = 0;
+  t_current = nullptr;
+  running_ = false;
+}
+
+size_t Scheduler::CancelPending() {
+  size_t n = heap_.size();
+  heap_.clear();
+  return n;
+}
+
+uint64_t Scheduler::NextRand() { return SplitMix64(rng_state_); }
+
+Scheduler* Current() { return t_current; }
+
+int64_t NowNanosOrReal() {
+  Scheduler* sched = t_current;
+  return sched != nullptr ? sched->task_now_us() * 1000
+                          : RealClock::Get()->NowNanos();
+}
+
+void AdvanceOrSleepUs(int64_t us) {
+  if (us <= 0) return;
+  Scheduler* sched = t_current;
+  if (sched != nullptr) {
+    sched->AdvanceUs(us);
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+const SimAwareClock* SimAwareClock::Get() {
+  static const SimAwareClock clock;
+  return &clock;
+}
+
+}  // namespace simtime
+}  // namespace cfs

@@ -1,0 +1,129 @@
+// Virtual time for discrete-event simulation (DESIGN.md §11).
+//
+// A simtime::Scheduler owns a monotonically advancing virtual clock and a
+// min-heap of pending events. One OS thread drives it (RunUntil); while it
+// does, the scheduler is published as the thread's *current* scheduler, and
+// everything the dispatched task touches — SimNet latency injection, WAL
+// fsync delay, LoadGate processing cost, OpTrace/TraceSpan timestamps —
+// reads virtual time instead of sleeping or reading the steady clock.
+//
+// Execution model: run-to-completion with latency accrual. A dispatched
+// task executes synchronously to completion on the scheduler thread; every
+// modelled delay it hits calls AdvanceUs, which accrues onto the task-local
+// clock (task_now_us = dispatch time + accrued so far) without yielding.
+// A closed-loop client reschedules its next op At(task_now_us()), so the
+// delays it accrued become the virtual spacing between its ops. This is
+// weaker than a full coroutine DES — while one task runs, virtual time may
+// locally run ahead of events still queued behind it — but dispatch order
+// is a deterministic function of the event heap alone, which is the
+// property replay needs (§11 discusses the approximation).
+//
+// Determinism: the scheduler's PRNG (NextRand) is the only randomness
+// source virtual-mode components may use, and it is consumed in dispatch
+// order, so identical seeds replay identical interleavings, latencies and
+// results. Nothing here is thread-safe by design: all scheduling must
+// happen on the driving thread (checked).
+
+#ifndef CFS_COMMON_SIMTIME_H_
+#define CFS_COMMON_SIMTIME_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace cfs {
+namespace simtime {
+
+class Scheduler {
+ public:
+  explicit Scheduler(uint64_t seed = 42);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Schedules `fn` at virtual time `t_us` (clamped to now: scheduling into
+  // the past dispatches in the current time slot, after already-queued
+  // events of that slot — ties dispatch FIFO by insertion). Must be called
+  // from the driving thread (inside RunUntil) or before/between runs.
+  void At(int64_t t_us, std::function<void()> fn);
+  // Schedules `fn` at task_now_us() + delta_us.
+  void After(int64_t delta_us, std::function<void()> fn);
+
+  // Dispatches events in (time, insertion) order until the heap is empty or
+  // the next event is past `deadline_us`; leaves now_us() == deadline_us.
+  // Publishes this scheduler as Current() for the duration.
+  void RunUntil(int64_t deadline_us);
+
+  // Drops all pending events (callers whose event closures are about to go
+  // out of scope must cancel before returning). Returns how many.
+  size_t CancelPending();
+
+  // Virtual dispatch clock: the time of the event being dispatched. Never
+  // decreases.
+  int64_t now_us() const { return now_us_; }
+  // Task-local clock: dispatch time plus delay accrued by the running task.
+  int64_t task_now_us() const { return now_us_ + accrued_us_; }
+  // Accrues `us` of modelled delay onto the running task (no-op if <= 0).
+  void AdvanceUs(int64_t us) {
+    if (us > 0) accrued_us_ += us;
+  }
+
+  // The seeded PRNG stream (SplitMix64). Sole randomness source for
+  // virtual-mode components; consumed in dispatch order.
+  uint64_t NextRand();
+
+  uint64_t seed() const { return seed_; }
+  uint64_t events_run() const { return events_run_; }
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    int64_t t_us;
+    uint64_t seq;  // insertion order; breaks time ties FIFO
+    std::function<void()> fn;
+  };
+  // std::push_heap/pop_heap max-heap comparator: "a after b".
+  static bool Later(const Event& a, const Event& b) {
+    return a.t_us != b.t_us ? a.t_us > b.t_us : a.seq > b.seq;
+  }
+
+  std::vector<Event> heap_;
+  int64_t now_us_ = 0;
+  int64_t accrued_us_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_run_ = 0;
+  uint64_t seed_;
+  uint64_t rng_state_;
+  bool running_ = false;
+};
+
+// The scheduler driving this thread (set for the duration of RunUntil), or
+// nullptr on every other thread — the discriminator every sim-aware delay
+// and clock site branches on.
+Scheduler* Current();
+
+// Virtual task-clock nanoseconds under a driving scheduler, real
+// steady-clock nanoseconds otherwise. Timestamp source for OpTrace,
+// TraceSpan and causal-trace events.
+int64_t NowNanosOrReal();
+
+// Charges `us` of modelled delay: accrues virtual time under a driving
+// scheduler, performs a real sleep otherwise.
+void AdvanceOrSleepUs(int64_t us);
+
+// Clock facade over NowNanosOrReal, for components that take a Clock*
+// (e.g. the dentry cache's TTL checks must expire in virtual time during a
+// simulated run and wall time otherwise).
+class SimAwareClock : public Clock {
+ public:
+  static const SimAwareClock* Get();
+  MonoNanos NowNanos() const override { return NowNanosOrReal(); }
+};
+
+}  // namespace simtime
+}  // namespace cfs
+
+#endif  // CFS_COMMON_SIMTIME_H_

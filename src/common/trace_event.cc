@@ -7,6 +7,7 @@
 #include <map>
 
 #include "src/common/clock.h"
+#include "src/common/simtime.h"
 #include "src/common/metrics.h"
 
 namespace cfs {
@@ -14,7 +15,9 @@ namespace trace {
 
 namespace {
 
-int64_t NowUs() { return RealClock::Get()->NowNanos() / 1000; }
+// Virtual microseconds during a simulated run (so sim-mode spans carry
+// virtual timestamps), steady-clock microseconds otherwise.
+int64_t NowUs() { return simtime::NowNanosOrReal() / 1000; }
 
 // trace_id / span_id allocators. Global atomics: ids must be unique across
 // threads and cheap; contention is one fetch_add per op / per span, and

@@ -53,7 +53,9 @@ struct CfsOptions {
   // negative TTL bounds how long a cached ENOENT can mask a concurrent
   // create (<= 0 disables negative caching); the epoch TTL bounds how long
   // a directory's epoch view is trusted before a cache hit forces one
-  // revalidation RPC (<= 0 revalidates every hit).
+  // revalidation RPC (<= 0 revalidates every hit). TTLs are measured on a
+  // sim-aware clock: virtual time under LatencyMode::kVirtual, wall time
+  // otherwise (DESIGN.md §11).
   size_t dentry_cache_capacity = 65536;
   size_t dentry_cache_shards = 16;
   int64_t dentry_negative_ttl_ms = 1000;
@@ -66,7 +68,9 @@ struct CfsOptions {
 
   // Garbage collection cadence and orphan grace period. The grace period
   // must comfortably exceed the longest in-flight window between a
-  // creation's two tier writes.
+  // creation's two tier writes. Virtual-time benches set start_gc=false:
+  // the GC thread ticks on the wall clock, outside the simulation's
+  // virtual time (DESIGN.md §11).
   int64_t gc_interval_ms = 200;
   int64_t gc_grace_ms = 1000;
   bool start_gc = true;

@@ -25,6 +25,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/simtime.h"
 #include "src/common/trace_event.h"
 #include "src/core/cfs.h"
 #include "src/core/gc.h"
@@ -58,7 +59,10 @@ CfsEngine::CfsEngine(Cfs* fs, NodeId self)
       self_(self),
       ts_cache_(fs->net(), self, fs->tafdb()->ts_oracle(), 512),
       id_cache_(fs->net(), self, fs->tafdb()->id_allocator(), 128),
-      cache_(CacheOptionsFrom(fs->options())) {
+      // Sim-aware clock: dentry TTLs expire in virtual time during a
+      // simulated run (a wall-clock TTL would expire nondeterministically
+      // mid-run and change RPC counts), wall time otherwise.
+      cache_(CacheOptionsFrom(fs->options()), simtime::SimAwareClock::Get()) {
   fs_->RegisterEngine(this);
 }
 

@@ -353,7 +353,7 @@ const FileStoreSm* FileStoreNode::LeaderSm() const {
 }
 
 void FileStoreNode::ReadProcessingGate() const {
-  if (net_->options().mode == LatencyMode::kSleep) {
+  if (net_->options().mode != LatencyMode::kZero) {
     read_gate_.Charge();
   }
 }

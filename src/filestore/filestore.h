@@ -102,9 +102,10 @@ struct FileStoreOptions {
   KvOptions kv;
   // Server-side processing cost per attribute read, modelling the light
   // RocksDB key-value path (paper §4.1: "manipulating file attributes
-  // through FileStore is cheaper than doing so in TafDB"). Applied only in
-  // sleep-latency mode, gated by a per-node concurrency limit so hotspots
-  // queue.
+  // through FileStore is cheaper than doing so in TafDB"). Charged in both
+  // latency-injecting modes (kSleep: real sleep gated by a per-node
+  // concurrency limit so hotspots queue; kVirtual: accrued on the
+  // virtual clock — DESIGN.md §11); skipped in kZero unit tests.
   int64_t read_processing_us = 15;
   size_t read_concurrency = 16;
 };

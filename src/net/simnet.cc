@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/metrics.h"
+#include "src/common/simtime.h"
 
 namespace cfs {
 namespace {
@@ -17,9 +18,8 @@ thread_local uint64_t t_rng_state =
     0x9e3779b97f4a7c15ULL ^
     std::hash<std::thread::id>{}(std::this_thread::get_id());
 
-int64_t Jitter(int64_t base_us, int64_t jitter_pct) {
+int64_t Jitter(int64_t base_us, int64_t jitter_pct, uint64_t r) {
   if (jitter_pct <= 0) return base_us;
-  uint64_t r = SplitMix64(t_rng_state);
   int64_t span = base_us * jitter_pct / 100;
   if (span <= 0) return base_us;
   return base_us - span + static_cast<int64_t>(r % (2 * static_cast<uint64_t>(span) + 1));
@@ -96,7 +96,7 @@ void SimNet::HealAll() {
   has_faults_.store(false);
 }
 
-Status SimNet::BeginCall(NodeId from, NodeId to) {
+Status SimNet::BeginCall(NodeId from, NodeId to, bool inject_latency) {
   if (has_faults_.load(std::memory_order_acquire)) {
     MutexLock lock(mu_);
     if (down_nodes_.count(to) != 0) {
@@ -116,7 +116,7 @@ Status SimNet::BeginCall(NodeId from, NodeId to) {
   // is a never-across-rpc class.
   lock_order::OnRpcEdge(nodes_[from].name.c_str(), nodes_[to].name.c_str());
 #endif
-  int64_t injected_us = InjectLatency(from, to);
+  int64_t injected_us = inject_latency ? InjectLatency(from, to) : 0;
   total_calls_.fetch_add(1, std::memory_order_relaxed);
   if (injected_us > 0) {
     total_injected_us_.fetch_add(injected_us, std::memory_order_relaxed);
@@ -188,7 +188,16 @@ int64_t SimNet::InjectLatency(NodeId from, NodeId to) {
   int64_t base = (nodes_[from].server == nodes_[to].server)
                      ? options_.same_node_rtt_us
                      : options_.cross_node_rtt_us;
-  int64_t us = Jitter(base, options_.jitter_pct);
+  if (options_.mode == LatencyMode::kVirtual) {
+    simtime::Scheduler* sched = simtime::Current();
+    // Off the scheduler thread (setup/population, stray background work)
+    // there is no virtual clock to charge; the call is free, like kZero.
+    if (sched == nullptr) return 0;
+    int64_t us = Jitter(base, options_.jitter_pct, sched->NextRand());
+    sched->AdvanceUs(us);
+    return us > 0 ? us : 0;
+  }
+  int64_t us = Jitter(base, options_.jitter_pct, SplitMix64(t_rng_state));
   if (us > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(us));
   }

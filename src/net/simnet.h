@@ -5,7 +5,12 @@
 //   1. checks fault state (node down, pairwise partition) and fails the call
 //      with kUnavailable without invoking the handler,
 //   2. injects the configured network round-trip latency on the caller
-//      thread (zero in unit tests, a real sleep in benchmarks),
+//      thread, per LatencyMode: kZero charges nothing (unit tests), kSleep
+//      blocks the OS thread for the jittered RTT (wall-clock benchmarks),
+//      kVirtual accrues the jittered RTT onto the driving
+//      simtime::Scheduler's virtual clock — no thread ever sleeps, jitter
+//      draws from the scheduler's seeded PRNG, and a thread not driven by
+//      a scheduler (background setup) charges nothing (DESIGN.md §11),
 //   3. counts the hop, globally, per destination node, per (from,to) edge
 //      (with cumulative injected latency), in a thread-local counter so
 //      tests can assert exact RPC counts per operation, and as a kRpc stamp
@@ -45,8 +50,9 @@ using NodeId = uint32_t;
 inline constexpr NodeId kInvalidNode = UINT32_MAX;
 
 enum class LatencyMode {
-  kZero,   // no injected latency: fast deterministic unit tests
-  kSleep,  // sleep for the configured round-trip time: benchmarks
+  kZero,     // no injected latency: fast deterministic unit tests
+  kSleep,    // real sleep for the round-trip time: wall-clock benchmarks
+  kVirtual,  // advance the driving simtime::Scheduler: simulated benchmarks
 };
 
 struct NetOptions {
@@ -54,6 +60,9 @@ struct NetOptions {
   int64_t same_node_rtt_us = 5;     // loopback / same physical server
   int64_t cross_node_rtt_us = 150;  // datacenter network round trip
   int64_t jitter_pct = 10;          // uniform +/- jitter on each call
+  // kVirtual jitter draws from the driving scheduler's seeded stream, so
+  // replay determinism needs the Scheduler seed, not this one; kSleep
+  // jitter uses a per-thread stream this seeds only notionally.
   uint64_t seed = 42;
 };
 
@@ -86,7 +95,11 @@ class SimNet {
   void HealAll();
 
   // Performs delivery checks and latency injection for one round trip.
-  Status BeginCall(NodeId from, NodeId to);
+  // `inject_latency=false` still does fault checks and hop/edge accounting
+  // but charges zero latency — for serialized fan-outs that model one
+  // concurrent round and already charged the round trip on another call
+  // (cf. Multicast; used by inline raft replication and sim-mode 2PC).
+  Status BeginCall(NodeId from, NodeId to, bool inject_latency = true);
 
   // Invokes `fn` on the destination as one RPC round trip. If delivery
   // fails, returns the delivery error (fn's return type must be
@@ -95,8 +108,9 @@ class SimNet {
   // spans it emits are attributed to the destination node — that is how a
   // causal trace "propagates" across SimNet (cf. src/common/trace_event.h).
   template <typename Fn>
-  auto Call(NodeId from, NodeId to, Fn&& fn) -> decltype(fn()) {
-    Status delivery = BeginCall(from, to);
+  auto Call(NodeId from, NodeId to, Fn&& fn, bool inject_latency = true)
+      -> decltype(fn()) {
+    Status delivery = BeginCall(from, to, inject_latency);
     if (!delivery.ok()) return delivery;
     trace::NodeScope scope(TraceNodeOf(to));
     return std::forward<Fn>(fn)();
@@ -143,15 +157,18 @@ class SimNet {
     std::unique_ptr<std::atomic<uint64_t>> calls;
   };
 
-  // Returns the injected round-trip latency in microseconds (0 in kZero).
+  // Returns the injected round-trip latency in microseconds (0 in kZero,
+  // and 0 in kVirtual off the scheduler thread).
   int64_t InjectLatency(NodeId from, NodeId to);
   std::vector<std::pair<std::string, int64_t>> ProbeSamples() const;
 
   // Node table capacity. Fixed so the hot path (BeginCall) can index nodes_
   // without a lock: slots never move, a slot is fully initialized before
   // num_nodes_ publishes it (release/acquire), and published slots are
-  // immutable apart from their atomic call counter.
-  static constexpr size_t kMaxNodes = 4096;
+  // immutable apart from their atomic call counter. Sized for the
+  // simulated-client benches: every simulated client registers a node, and
+  // the Fig 10 sim sweep runs tens of thousands of them.
+  static constexpr size_t kMaxNodes = 65536;
 
   NetOptions options_;
   // Serializes AddNode and guards the fault sets. RPC handlers run with no

@@ -155,8 +155,10 @@ Status RaftNode::Start() {
   leader_hint_ = UINT32_MAX;
   ResetElectionDeadlineLocked();
   running_.store(true);
-  replicators_should_run_ = true;
-  StartReplicatorsLocked();
+  if (!options_.inline_replication) {
+    replicators_should_run_ = true;
+    StartReplicatorsLocked();
+  }
   CFS_LOG(kDebug) << "raft " << id_ << " started, term=" << term_
                   << " log=" << log_.size();
   return Status::Ok();
@@ -263,6 +265,107 @@ std::future<StatusOr<std::string>> RaftNode::Propose(std::string command) {
   }
   repl_cv_.NotifyAll();
   return future;
+}
+
+StatusOr<std::string> RaftNode::ProposeInline(std::string command) {
+  std::promise<StatusOr<std::string>> promise;
+  auto future = promise.get_future();
+  LogIndex index = 0;
+  {
+    MutexLock lock(mu_);
+    if (!running_.load() || role_ != RaftRole::kLeader) {
+      return Status::NotLeader();
+    }
+    log_.push_back(LogEntry{term_, std::move(command)});
+    index = LastIndexLocked();
+    pending_[index].promise = std::move(promise);
+  }
+  // A round sends everything outstanding, so one round normally commits
+  // and applies our entry; under concurrent proposers another thread's
+  // round may do it for us (group commit), or ours may carry theirs. The
+  // retry bound only matters when a quorum is unreachable.
+  for (int round = 0; round < 8; round++) {
+    {
+      MutexLock lock(mu_);
+      if (pending_.count(index) == 0) break;  // applied (or failed) already
+    }
+    ReplicateRoundInline();
+  }
+  {
+    MutexLock lock(mu_);
+    auto it = pending_.find(index);
+    if (it != pending_.end()) {
+      it->second.promise.set_value(
+          Status::Unavailable("inline replication: no quorum"));
+      pending_.erase(it);
+    }
+  }
+  return future.get();
+}
+
+void RaftNode::ReplicateRoundInline() {
+  std::vector<RaftPeer> peers;
+  {
+    MutexLock lock(mu_);
+    if (!running_.load() || role_ != RaftRole::kLeader) return;
+    peers = peers_;
+  }
+  // The serialized fan-out models one concurrent round (all peers appended
+  // in parallel, the leader joins the slowest): only the first delivered
+  // call charges injected latency, like SimNet::Multicast.
+  bool latency_charged = false;
+  for (size_t i = 0; i < peers.size(); i++) {
+    AppendRequest req;
+    LogIndex sending_up_to = 0;
+    {
+      MutexLock lock(mu_);
+      if (!running_.load() || role_ != RaftRole::kLeader) return;
+      // Peers lagging behind a compacted prefix need snapshot shipping,
+      // which stays a replicator-thread feature; unreachable here because
+      // inline mode never runs with compaction-lagged peers (no faults).
+      if (next_index_[i] <= snapshot_index_) continue;
+      req.term = term_;
+      req.leader = id_;
+      req.prev_log_index = next_index_[i] - 1;
+      req.prev_log_term =
+          req.prev_log_index == 0 ? 0 : TermAtLocked(req.prev_log_index);
+      LogIndex last = std::min<LogIndex>(
+          LastIndexLocked(), req.prev_log_index + options_.max_batch_entries);
+      for (LogIndex j = next_index_[i]; j <= last; j++) {
+        req.entries.push_back(EntryAtLocked(j));
+      }
+      req.leader_commit = commit_index_;
+      sending_up_to = last;
+    }
+    // Leader durability before the entries can count toward a majority.
+    // mu_ is released around the persist and the peer RPC, exactly like
+    // ReplicatorLoop (raft.node must never be held across an RPC edge).
+    if (sending_up_to > 0) {
+      PersistEntriesUpTo(sending_up_to);
+    }
+    Status delivered = net_->BeginCall(net_id_, peers[i].net,
+                                       /*inject_latency=*/!latency_charged);
+    if (!delivered.ok()) continue;
+    latency_charged = true;
+    AppendReply reply = peers[i].node->HandleAppendEntries(req);
+
+    MutexLock lock(mu_);
+    if (!running_.load() || role_ != RaftRole::kLeader || term_ != req.term) {
+      return;
+    }
+    if (reply.term > term_) {
+      BecomeFollowerLocked(reply.term, /*persist=*/true);
+      return;
+    }
+    if (reply.success) {
+      match_index_[i] = std::max(match_index_[i], reply.match_index);
+      next_index_[i] = match_index_[i] + 1;
+      AdvanceCommitLocked();
+    } else {
+      next_index_[i] = std::max<LogIndex>(
+          1, std::min<LogIndex>(reply.conflict_hint, log_.size() + 1));
+    }
+  }
 }
 
 std::vector<std::pair<LogIndex, std::string>> RaftNode::ReadCommittedSince(
@@ -724,7 +827,10 @@ ReplicaId RaftNode::LeaderHint() const {
 RaftGroup::RaftGroup(SimNet* net, std::string name,
                      std::vector<uint32_t> servers, StateMachineFactory factory,
                      RaftOptions options, const Clock* clock)
-    : net_(net), name_(std::move(name)), factory_(std::move(factory)) {
+    : net_(net),
+      name_(std::move(name)),
+      factory_(std::move(factory)),
+      inline_(options.inline_replication) {
   for (size_t i = 0; i < servers.size(); i++) {
     machines_.push_back(factory_(static_cast<ReplicaId>(i)));
     NodeId nid = net_->AddNode(name_ + "-r" + std::to_string(i), servers[i]);
@@ -752,6 +858,15 @@ RaftGroup::~RaftGroup() { Stop(); }
 Status RaftGroup::Start() {
   for (auto& node : nodes_) {
     CFS_RETURN_IF_ERROR(node->Start());
+  }
+  if (inline_) {
+    // Deterministic bootstrap instead of timer-driven elections: replica 0
+    // campaigns immediately (every peer is up, so it wins), then one
+    // synchronous round commits and applies its term-start no-op so
+    // ReadBarrier passes from the first operation on.
+    nodes_[0]->StartElection();
+    nodes_[0]->ReplicateRoundInline();
+    return Status::Ok();
   }
   ticker_run_.store(true);
   ticker_ = std::thread([this] { TickerLoop(); });
@@ -804,6 +919,13 @@ StatusOr<std::string> RaftGroup::Propose(std::string command,
   static Counter* const proposals =
       MetricsRegistry::Global().GetCounter("raft.proposals");
   proposals->Add();
+  if (inline_) {
+    RaftNode* leader = Leader();
+    if (leader == nullptr) {
+      return Status::NotLeader("no leader (inline replication)");
+    }
+    return leader->ProposeInline(std::move(command));
+  }
   auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {

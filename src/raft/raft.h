@@ -23,6 +23,15 @@
 // shared by its replicas; each leader runs one replicator thread per peer.
 // Peer RPCs travel through SimNet and therefore pay simulated network
 // latency and observe partitions.
+//
+// Inline replication (RaftOptions::inline_replication): for virtual-time
+// simulation there are no background threads at all — no ticker, no
+// replicators, no heartbeats. The group bootstraps replica 0 as leader at
+// Start, and every proposal replicates synchronously on the proposing
+// thread (ReplicateRoundInline), so the whole commit path is causally
+// ordered on one thread and its injected latencies land on the driving
+// simtime::Scheduler's virtual clock. Elections and fault tolerance are
+// out of scope in this mode (DESIGN.md §11).
 
 #ifndef CFS_RAFT_RAFT_H_
 #define CFS_RAFT_RAFT_H_
@@ -80,6 +89,10 @@ struct RaftOptions {
   // feed reads the in-memory log, so deployments that compact must size
   // their GC scan interval below the compaction window).
   size_t snapshot_threshold = SIZE_MAX;
+  // Replicate synchronously on the proposing thread, with no ticker /
+  // replicator / heartbeat threads (virtual-time simulation; see the
+  // header comment). Replica 0 is bootstrapped as the permanent leader.
+  bool inline_replication = false;
   WalOptions wal;
 };
 
@@ -166,6 +179,23 @@ class RaftNode {
   // the entry commits, or with kNotLeader/kAborted on leadership change.
   std::future<StatusOr<std::string>> Propose(std::string command);
 
+  // Inline-replication proposal (options_.inline_replication): appends the
+  // entry and drives replication rounds on the calling thread until the
+  // entry commits and applies (or no quorum is reachable). Safe under
+  // concurrent callers — a thread's entry may be committed by another
+  // thread's round.
+  StatusOr<std::string> ProposeInline(std::string command);
+
+  // One synchronous replication round: sends AppendEntries to every peer,
+  // advancing match/commit/apply. The serialized fan-out models one
+  // concurrent round, so only the first delivered peer call charges
+  // injected latency (cf. SimNet::Multicast). Leader only; no-op otherwise.
+  void ReplicateRoundInline();
+
+  // Inline-mode bootstrap: immediately starts (and, with all peers up,
+  // wins) an election. Public for RaftGroup and partition tests.
+  void StartElection();
+
   // Leader read barrier: waits until this leader has applied its
   // term-start no-op (which implies every entry committed by previous
   // terms is applied locally) — the standard raft rule for serving
@@ -217,7 +247,6 @@ class RaftNode {
   void AdvanceCommitLocked() REQUIRES(mu_);
   void TruncateFromLocked(LogIndex from) REQUIRES(mu_);
 
-  void StartElection();
   void ReplicatorLoop(size_t peer_index);
   // --- log-offset helpers (compaction); require mu_ held ---
   LogIndex LastIndexLocked() const REQUIRES(mu_) {
@@ -325,6 +354,7 @@ class RaftGroup {
   StateMachineFactory factory_;
   std::vector<std::unique_ptr<StateMachine>> machines_;
   std::vector<std::unique_ptr<RaftNode>> nodes_;
+  bool inline_ = false;  // RaftOptions::inline_replication
   std::thread ticker_;
   std::atomic<bool> ticker_run_{false};
 };

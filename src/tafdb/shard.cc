@@ -238,13 +238,13 @@ PrimitiveResult TafDbShard::ProposePrimitive(const PrimitiveOp& op) {
 }
 
 void TafDbShard::ReadProcessingGate() const {
-  if (net_->options().mode == LatencyMode::kSleep) {
+  if (net_->options().mode != LatencyMode::kZero) {
     read_gate_.Charge();
   }
 }
 
 void TafDbShard::TxnWriteProcessingGate() const {
-  if (net_->options().mode == LatencyMode::kSleep) {
+  if (net_->options().mode != LatencyMode::kZero) {
     txn_write_gate_.Charge();
   }
 }

@@ -86,16 +86,19 @@ struct TafDbShardOptions {
   // Server-side processing cost per read, modelling the heavier
   // database-table path of TafDB relative to FileStore's raw KV lookups
   // (§5.2: "the faster processing enabled by FileStore, compared to
-  // TafDB"). Applied only in sleep-latency mode, bounded by a per-shard
-  // concurrency limit so a hot shard queues (Fig 12).
+  // TafDB"). Charged in both latency-injecting modes (kSleep: real sleep
+  // bounded by a per-shard concurrency limit so a hot shard queues,
+  // Fig 12; kVirtual: accrued on the virtual clock, no queueing —
+  // DESIGN.md §11); skipped in kZero unit tests.
   int64_t read_processing_us = 150;
   size_t read_concurrency = 2;
   // Extra server-side cost of LOCK-BASED transactional commits
   // (CommitLocal / Prepare / Commit) relative to single-shard atomic
   // primitives — the paper's §4.2 claim: stored-procedure-style
   // transactions execute statement by statement through the SQL layer,
-  // while primitives are single commands "made even faster". Charged only
-  // in sleep-latency mode.
+  // while primitives are single commands "made even faster". Charged in
+  // both latency-injecting modes, like read_processing_us; skipped in
+  // kZero unit tests.
   int64_t txn_write_processing_us = 250;
   size_t txn_write_concurrency = 16;
 };

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/common/metrics.h"
+#include "src/common/simtime.h"
 
 namespace cfs {
 namespace {
@@ -45,6 +46,23 @@ Status TwoPhaseCommit::Run(NodeId coordinator,
     if (unique.size() == 1) {
       results[0] = net_->Call(coordinator, unique[0]->ParticipantNetId(),
                               [&] { return phase(unique[0]); });
+      return results;
+    }
+    // On a simtime::Scheduler thread, run the fan-out serially in
+    // deterministic participant order: helper threads would escape the
+    // virtual clock and scramble replay. The round trip is charged once
+    // (first call), like the parallel fan-out it models; participant
+    // processing serializes, a documented sim-mode over-charge for
+    // cross-shard phases (DESIGN.md §11).
+    if (simtime::Current() != nullptr) {
+      bool latency_charged = false;
+      for (size_t i = 0; i < unique.size(); i++) {
+        results[i] = net_->Call(
+            coordinator, unique[i]->ParticipantNetId(),
+            [&] { return phase(unique[i]); },
+            /*inject_latency=*/!latency_charged);
+        latency_charged = true;
+      }
       return results;
     }
     std::vector<std::thread> threads;

@@ -8,6 +8,7 @@
 #include "src/common/crc32.h"
 #include "src/common/encoding.h"
 #include "src/common/metrics.h"
+#include "src/common/simtime.h"
 
 namespace cfs {
 namespace {
@@ -74,8 +75,7 @@ StatusOr<uint64_t> Wal::Append(std::string_view record, bool sync) {
   if (sync && options_.fsync_delay_us > 0) {
     TraceSpan span(Phase::kWalFsync);
     Metrics().fsync_us->Add(static_cast<uint64_t>(options_.fsync_delay_us));
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(options_.fsync_delay_us));
+    simtime::AdvanceOrSleepUs(options_.fsync_delay_us);
   }
   return lsn;
 }

@@ -111,6 +111,70 @@ RunResult WorkloadRunner::Run(const OpFn& op, int64_t duration_ms,
   return result;
 }
 
+RunResult WorkloadRunner::RunSimulated(simtime::Scheduler& sched,
+                                       const OpFn& op, int64_t duration_ms,
+                                       int64_t warmup_ms,
+                                       const std::string& trace_label) {
+  const char* op_name = trace_label.empty() ? "op" : trace_label.c_str();
+  const int64_t start_us = sched.now_us();
+  const int64_t warmup_end_us = start_us + warmup_ms * 1000;
+  const int64_t deadline_us = warmup_end_us + duration_ms * 1000;
+
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  Histogram latency;
+  PhaseBreakdown phases;
+  std::vector<Rng> rngs;
+  std::vector<uint64_t> seqs(clients_.size(), 0);
+  rngs.reserve(clients_.size());
+  for (size_t t = 0; t < clients_.size(); t++) {
+    // Same per-client stream family as Run(), keyed on the scheduler seed
+    // so different seeds explore different op sequences.
+    rngs.emplace_back(sched.seed() ^ 0xbadc0ffee ^ (t * 0x9e3779b9));
+  }
+
+  // One client = one self-rescheduling step function. The op runs to
+  // completion on the scheduler thread; the latency it accrued becomes the
+  // gap to its next op. As in Run(), an op that *starts* before the
+  // deadline is counted even if its accrued latency ends past it.
+  std::function<void(size_t)> step = [&](size_t t) {
+    bool warm = sched.now_us() < warmup_end_us;
+    OpTrace::Begin(warm ? "warmup" : op_name);
+    Status st = op(clients_[t].get(), t, seqs[t]++, rngs[t]);
+    OpTraceData trace = OpTrace::Finish();
+    if (!warm) {
+      latency.Record(trace.total_us);
+      phases.Add(trace);
+      ops++;
+      if (!st.ok()) errors++;
+    }
+    int64_t next_us = sched.task_now_us();
+    if (next_us < deadline_us) {
+      sched.At(next_us, [&step, t] { step(t); });
+    }
+  };
+  for (size_t t = 0; t < clients_.size(); t++) {
+    sched.At(start_us, [&step, t] { step(t); });
+  }
+  sched.RunUntil(deadline_us);
+  // Tasks scheduled past the deadline reference this frame; drop them.
+  (void)sched.CancelPending();
+
+  RunResult result;
+  result.ops = ops;
+  result.errors = errors;
+  result.seconds = static_cast<double>(duration_ms) / 1000.0;
+  result.latency = latency;
+  result.phases = phases;
+  if (!trace_label.empty()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    result.phases.PublishTo(registry, trace_label);
+    registry.GetHistogram("trace." + trace_label + ".latency")
+        ->Merge(result.latency);
+  }
+  return result;
+}
+
 RunResult WorkloadRunner::RunCount(const OpFn& op, uint64_t ops_per_thread) {
   std::atomic<uint64_t> total_errors{0};
   StripedHistogram latency(std::max<size_t>(clients_.size(), 1));

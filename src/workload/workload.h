@@ -3,9 +3,11 @@
 // parameters including contention rates, the number of clients, the
 // directory size").
 //
-// A WorkloadRunner drives N client threads in a closed loop against any
+// A WorkloadRunner drives N clients in a closed loop against any
 // MetadataClient (CFS or a baseline), measuring aggregate throughput and
-// per-op latency. Workload shapes:
+// per-op latency — either as one OS thread per client (Run, wall clock) or
+// as lightweight simulated clients on a simtime::Scheduler (RunSimulated,
+// virtual clock; see DESIGN.md §11). Workload shapes:
 //   - private-dir: every client works in its own directory (no contention,
 //     Fig 9/10);
 //   - contention: with probability `contention_rate` a client targets the
@@ -25,6 +27,7 @@
 #include "src/common/histogram.h"
 #include "src/common/metrics.h"
 #include "src/common/random.h"
+#include "src/common/simtime.h"
 #include "src/core/metadata_client.h"
 
 namespace cfs {
@@ -76,6 +79,21 @@ class WorkloadRunner {
   // global MetricsRegistry under "trace.<label>.*".
   RunResult Run(const OpFn& op, int64_t duration_ms, int64_t warmup_ms = 0,
                 const std::string& trace_label = "");
+
+  // Simulated clients on a virtual clock: each client is a state-machine
+  // task on `sched` that runs one op to completion, then reschedules itself
+  // at the virtual time its accrued latencies imply — a closed loop whose
+  // think time is the op's own modelled latency, like Run()'s thread-per-
+  // client loop, but with no OS threads and no wall-clock sleeps, so
+  // 10k+ clients cost only their ops' CPU time. `duration_ms`/`warmup_ms`
+  // are VIRTUAL milliseconds; RunResult::seconds is virtual seconds, so
+  // ops_per_sec() is virtual throughput. Per-client RNGs derive from the
+  // scheduler seed, so identical seeds replay identical runs. The system
+  // under test must be configured for determinism (LatencyMode::kVirtual,
+  // inline raft replication, GC off — see bench_common.h's sim wiring).
+  RunResult RunSimulated(simtime::Scheduler& sched, const OpFn& op,
+                         int64_t duration_ms, int64_t warmup_ms = 0,
+                         const std::string& trace_label = "");
 
   // Fixed op count per thread (setup/populate phases).
   RunResult RunCount(const OpFn& op, uint64_t ops_per_thread);
