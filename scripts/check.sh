@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Full check, four legs:
 #   1. regular build + complete test suite + docs lint + static-analysis
-#      lint (scripts/lint.sh: lock-discipline greps always; clang
-#      -Wthread-safety and clang-tidy when clang is installed) +
-#      critical-section scope lint (scripts/cs_scope_lint.sh: no RPC
-#      reachable under a live mutex guard);
+#      lint (scripts/lint.sh: lock-discipline greps and the GUARDED_BY
+#      coverage lint always; clang -Wthread-safety and clang-tidy when
+#      clang is installed) + critical-section scope lint
+#      (scripts/cs_scope_lint.sh: no RPC reachable under a live mutex
+#      guard);
 #   2. an AddressSanitizer+UBSan build running the complete test suite
 #      (memory errors and UB anywhere, not just in concurrency hot spots);
 #   3. a ThreadSanitizer build running the concurrency-heavy tests (metrics

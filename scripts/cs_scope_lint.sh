@@ -17,13 +17,16 @@
 # `<guard>.Lock()` toggles — so the sanctioned drop-the-lock-around-the-RPC
 # idiom (e.g. TimestampCache::Next in src/txn/timestamp_oracle.h) passes.
 # A site that must hold a guard across an RPC can be exempted with a
-# `// cs-scope: allow` comment on the line or the line above; exemptions
-# are expected to be rare and justified in the comment.
+# `// cs-scope: allow(<reason>)` comment on the line or the line above; the
+# parenthesized justification is mandatory (a bare `allow` does not exempt,
+# and lint.sh independently fails bare escape markers). Marker spellings are
+# documented in scripts/lint_allowlist.txt.
 #
-# When clang-query is on PATH an additional AST-matcher pass runs in
-# advisory mode (it cannot model Unlock()/relock toggles, so its findings
-# are printed for human review, not failed on). This machine may be
-# gcc-only; the awk pass is always enforced.
+# When clang-query is on PATH an additional AST-matcher pass runs and is
+# REQUIRED: each AST match must be resolvable — explained by a preceding
+# `.Unlock()` toggle or a justified allow marker in the lines above it —
+# or the lint fails. This machine may be gcc-only; the awk pass is always
+# enforced.
 #
 # Usage: scripts/cs_scope_lint.sh [--grep-only]
 set -euo pipefail
@@ -46,8 +49,9 @@ violations=$(awk '
   }
   {
     raw = $0;
-    allow = prev_allow || (raw ~ /cs-scope: allow/);
-    prev_allow = (raw ~ /cs-scope: allow/);
+    # Only a justified escape exempts: cs-scope: allow(<reason>).
+    allow = prev_allow || (raw ~ /cs-scope: allow\([^)]+\)/);
+    prev_allow = (raw ~ /cs-scope: allow\([^)]+\)/);
 
     line = raw;
     sub(/\/\/.*/, "", line);       # line comments
@@ -106,7 +110,7 @@ if [[ -n "$violations" ]]; then
   echo "cs_scope_lint: FAILED — RPCs issued under a live mutex guard." >&2
   echo "cs_scope_lint: drop the guard around the round trip (guard.Unlock()/" >&2
   echo "cs_scope_lint: guard.Lock()) or annotate a justified site with" >&2
-  echo "cs_scope_lint: '// cs-scope: allow'." >&2
+  echo "cs_scope_lint: '// cs-scope: allow(<reason>)' — the reason is mandatory." >&2
   exit 1
 fi
 echo "cs_scope_lint: clean — no RPC reachable under a live mutex guard"
@@ -116,19 +120,43 @@ if [[ "${1:-}" == "--grep-only" ]]; then
 fi
 
 # ---------------------------------------------------------------------------
-# clang-query AST pass (advisory): matches SimNet RPC calls lexically inside
-# a compound statement that also declares a MutexLock-family guard. It does
-# not model Unlock()/relock toggles, so findings here are review prompts,
-# not failures — the awk pass above is the gate.
+# clang-query AST pass (required when clang is present): matches SimNet RPC
+# calls lexically inside a compound statement that also declares a
+# MutexLock-family guard. The matcher cannot model Unlock()/relock toggles,
+# so each match must be *resolvable*: the source window above the match must
+# contain either a `.Unlock()` toggle (the sanctioned drop-the-lock idiom)
+# or a justified `cs-scope: allow(<reason>)` marker. An unresolvable match
+# fails the lint.
 if command -v clang-query >/dev/null 2>&1 && command -v clang++ >/dev/null 2>&1; then
-  echo "== cs_scope_lint: clang-query advisory pass =="
+  echo "== cs_scope_lint: clang-query AST pass (required) =="
   cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   mapfile -t cc_files < <(git ls-files "${SCAN_DIRS[@]/%//*.cc}")
-  clang-query -p build-tsa "${cc_files[@]}" \
+  ast_out=$(clang-query -p build-tsa "${cc_files[@]}" \
     -c 'match callExpr(callee(cxxMethodDecl(hasAnyName("Call","Multicast","BeginCall"), ofClass(hasName("::cfs::SimNet")))), hasAncestor(compoundStmt(hasDescendant(declStmt(containsDeclaration(0, varDecl(hasType(namedDecl(hasAnyName("MutexLock","ReaderMutexLock","WriterMutexLock"))))))))))' \
-    || true
-  echo "cs_scope_lint: clang-query findings above (if any) are advisory"
+    2>/dev/null || true)
+  # Each match reports a "binds here" note carrying file:line:col.
+  mapfile -t sites < <(printf '%s\n' "$ast_out" |
+    sed -n 's/^\([^ :]*\.cc\):\([0-9][0-9]*\):[0-9][0-9]*: note: .*binds here.*/\1:\2/p' |
+    sort -u)
+  ast_fail=0
+  for site in "${sites[@]}"; do
+    f=${site%:*}; ln=${site##*:}
+    start=$(( ln > 40 ? ln - 40 : 1 ))
+    ctx=$(sed -n "${start},${ln}p" "$f")
+    if grep -qE 'cs-scope: allow\([^)]+\)' <<<"$ctx" ||
+       grep -qF '.Unlock()' <<<"$ctx"; then
+      echo "cs_scope_lint: AST match at $site resolved (guard toggle / allow marker)"
+    else
+      echo "cs_scope_lint: AST: unresolved RPC-under-guard match at $site" >&2
+      ast_fail=1
+    fi
+  done
+  if [[ "$ast_fail" -ne 0 ]]; then
+    echo "cs_scope_lint: clang-query pass FAILED" >&2
+    exit 1
+  fi
+  echo "cs_scope_lint: clang-query pass clean (${#sites[@]} matches, all resolved)"
 else
-  echo "cs_scope_lint: NOTICE: clang-query not found; skipping AST advisory pass"
+  echo "cs_scope_lint: NOTICE: clang-query not found; skipping AST pass"
 fi

@@ -169,3 +169,32 @@ if [[ "$missing" -ne 0 ]]; then
   exit 1
 fi
 echo "docs_lint: README.md covers all $(echo "$sim_knobs" | wc -l) CFS_SIM* knobs"
+
+# Every CFS_RACE* / CFS_SIM_FUZZ* env knob read by the race detector and
+# the schedule fuzzer (src/common/) must appear in both README.md's knob
+# table and DESIGN.md §12, so the auditing knobs cannot drift from the
+# docs the same way CfsOptions/CFS_SIM* knobs cannot.
+# Only quoted names (the strings passed to getenv), not CFS_RACE_* macros.
+race_knobs=$(grep -rhoE '"CFS_(RACE|SIM_FUZZ)[A-Z0-9_]*"' src/common/ |
+             tr -d '"' | sort -u)
+if [[ -z "$race_knobs" ]]; then
+  echo "docs_lint: failed to extract CFS_RACE*/CFS_SIM_FUZZ* knobs from src/common/" >&2
+  exit 1
+fi
+race_section=$(sed -n '/^## 12\./,/^## /p' DESIGN.md)
+missing=0
+for knob in $race_knobs; do
+  if ! grep -q "\`$knob\`" README.md; then
+    echo "docs_lint: race-audit knob $knob is not documented in README.md" >&2
+    missing=1
+  fi
+  if ! grep -q "\`$knob\`" <<< "$race_section"; then
+    echo "docs_lint: race-audit knob $knob is not documented in DESIGN.md §12" >&2
+    missing=1
+  fi
+done
+if [[ "$missing" -ne 0 ]]; then
+  echo "docs_lint: add the missing knob(s) to README.md and DESIGN.md §12" >&2
+  exit 1
+fi
+echo "docs_lint: docs cover all $(echo "$race_knobs" | wc -l) CFS_RACE*/CFS_SIM_FUZZ* knobs"

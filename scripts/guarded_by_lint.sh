@@ -1,0 +1,184 @@
+#!/usr/bin/env bash
+# GUARDED_BY coverage lint: every mutable data member of a class that owns a
+# cfs::Mutex / cfs::SharedMutex must either carry a GUARDED_BY(mu) /
+# PT_GUARDED_BY(mu) annotation or an explicit justification —
+# `// tsa-coverage: allow(<reason>)` on the member line or the line above.
+# The static twin of the dynamic race detector (src/common/race_detector.h):
+# the detector checks the annotated discipline at runtime; this lint makes
+# sure the discipline is declared in the first place.
+#
+# The scanner is a comment/string-stripping awk pass that tracks nested
+# class/struct scopes by brace depth and only inspects lines at a class's
+# own depth (method bodies nest one deeper and are ignored). A member is
+# exempt when it is:
+#   - static / constexpr / const (immutable or not per-instance state),
+#   - a reference (the binding is fixed at construction),
+#   - itself a synchronization object (Mutex / SharedMutex / CondVar,
+#     std::atomic — internally ordered by definition),
+#   - annotated GUARDED_BY / PT_GUARDED_BY, or
+#   - escaped with a justified `tsa-coverage: allow(...)`.
+# An escape with no reason (`allow` / `allow()`) is itself a failure, and
+# scripts/lint_allowlist.txt can exempt whole files (marker no-guard-lint).
+#
+# When clang-query is on PATH an additional AST pass cross-checks the awk
+# findings (see cs_scope_lint.sh for the same pattern); this machine may be
+# gcc-only, so the awk pass is the gate.
+#
+# Usage: scripts/guarded_by_lint.sh [--grep-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALLOWLIST=scripts/lint_allowlist.txt
+
+mapfile -t skip_files < <(awk '$1 == "no-guard-lint" { print $2 }' "$ALLOWLIST")
+
+mapfile -t files < <(git ls-files 'src/*.h' 'src/*.cc')
+scan=()
+for f in "${files[@]}"; do
+  skip=0
+  for s in "${skip_files[@]}"; do [[ "$f" == "$s" ]] && skip=1; done
+  [[ $skip -eq 0 ]] && scan+=("$f")
+done
+if [[ ${#scan[@]} -eq 0 ]]; then
+  echo "guarded_by_lint: no files to scan" >&2
+  exit 1
+fi
+
+echo "== guarded_by_lint: GUARDED_BY coverage scan (${#scan[@]} files) =="
+
+violations=$(awk '
+  function push_scope(name) {
+    nscopes++;
+    sname[nscopes] = name;
+    sdepth[nscopes] = depth;      # depth *inside* the class body
+    shas_mu[nscopes] = 0;
+    sfirst[nscopes] = nmembers + 1;
+  }
+  function pop_scope(   i) {
+    if (shas_mu[nscopes]) {
+      for (i = sfirst[nscopes]; i <= nmembers; i++) {
+        if (mscope[i] == nscopes) print mmsg[i];
+      }
+    }
+    # Drop this scope'\''s buffered members.
+    nmembers = sfirst[nscopes] - 1;
+    nscopes--;
+  }
+  FNR == 1 {
+    depth = 0; nscopes = 0; nmembers = 0;
+    pending_class = ""; prev_allow = 0; prev_allow_empty = 0;
+  }
+  {
+    raw = $0;
+    has_allow = (raw ~ /tsa-coverage: allow\([^)][^)]*\)/);
+    empty_allow = (raw ~ /tsa-coverage: allow([^(]|$)/ || raw ~ /tsa-coverage: allow\(\)/);
+    if (empty_allow && !has_allow) {
+      printf "%s:%d: tsa-coverage escape without a justification — write tsa-coverage: allow(<reason>)\n", FILENAME, FNR;
+    }
+    allow = has_allow || prev_allow;
+    prev_allow = has_allow;
+
+    line = raw;
+    sub(/\/\/.*/, "", line);        # line comments
+    gsub(/"[^"]*"/, "\"\"", line);  # string literals
+    gsub(/'\''[^'\'']*'\''/, "", line);     # char literals
+
+    # Class/struct scope entry. Forward declarations end in ";"; enum
+    # classes are not record scopes.
+    if (line ~ /(^|[ \t])(class|struct)[ \t]+[A-Za-z_]/ && line !~ /enum[ \t]+(class|struct)/ && line !~ /;[ \t]*$/) {
+      cname = line;
+      sub(/.*(class|struct)[ \t]+/, "", cname);
+      sub(/[^A-Za-z0-9_].*/, "", cname);
+      if (line ~ /{/) {
+        depth += gsub(/{/, "{", line) - gsub(/}/, "}", line);
+        push_scope(cname);
+        next;
+      }
+      pending_class = cname;   # brace expected on a following line
+      next;
+    }
+    if (pending_class != "" && line ~ /{/) {
+      depth += gsub(/{/, "{", line) - gsub(/}/, "}", line);
+      push_scope(pending_class);
+      pending_class = "";
+      next;
+    }
+    if (pending_class != "" && line ~ /;[ \t]*$/) pending_class = "";
+
+    in_class = (nscopes > 0 && depth == sdepth[nscopes]);
+
+    # Mutex ownership (checked before the depth update so one-line
+    # brace-init members count at class depth).
+    if (in_class && line ~ /(^|[ \t])(mutable[ \t]+)?(cfs::)?(Mutex|SharedMutex)[ \t]+[A-Za-z_]/) {
+      shas_mu[nscopes] = 1;
+    }
+
+    # Candidate data member: a declaration line at class depth.
+    if (in_class && line ~ /;[ \t]*$/ && !allow) {
+      candidate = 1;
+      if (line ~ /^[ \t]*$/) candidate = 0;
+      if (line ~ /(^|[ \t])(public|private|protected)[ \t]*:/) candidate = 0;
+      if (line ~ /(^|[ \t])(static|constexpr|using|typedef|friend|template|return|explicit|virtual|operator|enum|class|struct)([ \t]|$)/) candidate = 0;
+      if (line ~ /(^|[ \t])(mutable[ \t]+)?const[ \t]/) candidate = 0;
+      # Function declarations end in ")" + qualifiers; pure/defaulted too.
+      if (line ~ /\)[ \t]*(const)?[ \t]*(noexcept)?[ \t]*(override|final)?[ \t]*;[ \t]*$/) candidate = 0;
+      if (line ~ /=[ \t]*(0|default|delete)[ \t]*;[ \t]*$/) candidate = 0;
+      # References bind at construction.
+      if (line ~ /&[ \t]*[A-Za-z_][A-Za-z0-9_]*[ \t]*;[ \t]*$/) candidate = 0;
+      # Synchronization members are ordered by definition.
+      if (line ~ /(^|[ \t])(mutable[ \t]+)?(cfs::)?(Mutex|SharedMutex|CondVar)[ \t]/) candidate = 0;
+      if (line ~ /std::atomic[<_]/) candidate = 0;
+      # Already declared.
+      if (raw ~ /GUARDED_BY|PT_GUARDED_BY/) candidate = 0;
+      # Must actually declare an identifier before the terminator.
+      if (line !~ /[A-Za-z_][A-Za-z0-9_]*[ \t]*([=({[][^;]*)?;[ \t]*$/) candidate = 0;
+      if (candidate) {
+        nmembers++;
+        mscope[nmembers] = nscopes;
+        mmsg[nmembers] = sprintf("%s:%d: member of mutex-owning %s %s lacks GUARDED_BY/PT_GUARDED_BY (or tsa-coverage: allow(<reason>)): %s",
+                                 FILENAME, FNR, "class", sname[nscopes], raw);
+        gsub(/^[ \t]+/, "", mmsg[nmembers]);
+      }
+    }
+
+    # Brace bookkeeping; close any scopes whose body ended.
+    depth += gsub(/{/, "{", line) - gsub(/}/, "}", line);
+    if (depth < 0) depth = 0;
+    while (nscopes > 0 && depth < sdepth[nscopes]) pop_scope();
+  }
+  END { while (nscopes > 0) pop_scope(); }
+' "${scan[@]}")
+
+if [[ -n "$violations" ]]; then
+  echo "$violations" >&2
+  count=$(echo "$violations" | wc -l)
+  echo "guarded_by_lint: FAILED — $count finding(s)." >&2
+  echo "guarded_by_lint: declare the guard (GUARDED_BY(mu_)) or justify the" >&2
+  echo "guarded_by_lint: exemption with '// tsa-coverage: allow(<reason>)'." >&2
+  exit 1
+fi
+echo "guarded_by_lint: clean — every mutex-owning class declares its guards"
+
+if [[ "${1:-}" == "--grep-only" ]]; then
+  exit 0
+fi
+
+# ---------------------------------------------------------------------------
+# clang-query AST pass: fields of mutex-owning records without a guarded_by
+# attribute. Required when clang-query exists (the AST sees through any
+# formatting the awk scanner might misparse); skipped with a notice on
+# gcc-only machines.
+if command -v clang-query >/dev/null 2>&1 && command -v clang++ >/dev/null 2>&1; then
+  echo "== guarded_by_lint: clang-query AST pass =="
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t cc_files < <(git ls-files 'src/*.cc')
+  out=$(clang-query -p build-tsa "${cc_files[@]}" \
+    -c 'match fieldDecl(unless(anyOf(hasType(hasCanonicalType(referenceType())), hasType(namedDecl(hasAnyName("Mutex","SharedMutex","CondVar"))), hasAttr("attr::GuardedBy"))), hasParent(cxxRecordDecl(has(fieldDecl(hasType(namedDecl(hasAnyName("Mutex","SharedMutex"))))))))' \
+    2>/dev/null || true)
+  matches=$(echo "$out" | grep -c '^Match #' || true)
+  echo "guarded_by_lint: clang-query reported $matches candidate field(s)"
+  echo "$out" | grep -A2 '^Match #' | head -60 || true
+else
+  echo "guarded_by_lint: NOTICE: clang-query not found; awk pass is the gate"
+fi

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Race-audit sweep (DESIGN.md §12): drive the Figure 9 overall-throughput
+# bench — the workload exercising every subsystem's annotated hot path —
+# under virtual time with the dynamic race detector armed and the seeded
+# schedule fuzzer perturbing lock acquisitions, RPC edges and WAL fsyncs,
+# across a sweep of seeds. Any `[race]` report fails the audit; the per-seed
+# logs plus a markdown summary land in the output directory, and a failing
+# seed's report replays byte-identically with the same
+# (CFS_SIM_SEED, CFS_SIM_FUZZ_SEED) pair.
+#
+# Usage: scripts/race_audit.sh [out_dir] [num_seeds]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-race-audit-artifacts}"
+SEEDS="${2:-16}"
+REPORT="$OUT/RACE_AUDIT.md"
+mkdir -p "$OUT"
+
+[[ -x build/bench/bench_fig9_overall ]] || {
+  echo "race_audit: build/bench/bench_fig9_overall missing; build first" >&2
+  exit 2
+}
+
+{
+  echo "# Race audit"
+  echo
+  echo "Dynamic lockset + happens-before detector (\`CFS_RACE_DETECT=1\`)"
+  echo "over a ${SEEDS}-seed schedule-fuzzed (\`CFS_SIM_FUZZ=1\`) virtual-time"
+  echo "Figure 9 sweep. A failing seed replays byte-identically:"
+  echo '`CFS_SIM=1 CFS_SIM_SEED=<s> CFS_SIM_FUZZ=1 CFS_SIM_FUZZ_SEED=<s>`.'
+  echo
+  echo "| seed | bench | [race] reports |"
+  echo "|-----:|-------|---------------:|"
+} > "$REPORT"
+
+fail=0
+for ((s = 1; s <= SEEDS; s++)); do
+  log="$OUT/fig9_seed${s}.log"
+  status=ok
+  if ! CFS_SIM=1 CFS_SIM_SEED="$s" CFS_SIM_FUZZ=1 CFS_SIM_FUZZ_SEED="$s" \
+       CFS_RACE_DETECT=1 CFS_BENCH_JSON_DIR="$OUT" \
+       ./build/bench/bench_fig9_overall > "$log" 2>&1; then
+    status=FAILED
+    fail=1
+  fi
+  races=$(grep -c '^\[race\]' "$log" || true)
+  if [[ "$races" -gt 0 ]]; then
+    fail=1
+  fi
+  echo "| $s | $status | $races |" >> "$REPORT"
+  echo "race_audit: seed $s: $status, $races race report(s)"
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  {
+    echo
+    echo "## Reports"
+    echo
+    echo '```'
+    grep -h '^\[race\]' "$OUT"/fig9_seed*.log | sort -u || true
+    echo '```'
+  } >> "$REPORT"
+  echo "race_audit: FAILED — see $REPORT" >&2
+  exit 1
+fi
+
+{
+  echo
+  echo "No races reported across $SEEDS fuzzed schedules."
+} >> "$REPORT"
+echo "race_audit: clean across $SEEDS fuzzed schedules ($REPORT)"

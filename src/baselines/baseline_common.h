@@ -160,13 +160,17 @@ class BaselineEngineBase : public MetadataClient {
   bool CacheGet(const std::string& path, InodeId* id, InodeType* type);
   void CacheErase(const std::string& path);
 
+  // tsa-coverage: allow(immutable after construction)
   SimNet* net_;
-  NodeId self_;
+  NodeId self_;  // tsa-coverage: allow(immutable after construction)
+  // tsa-coverage: allow(immutable after construction)
   TafDbCluster* tafdb_;
+  // tsa-coverage: allow(immutable after construction)
   FileStoreCluster* filestore_;
+  // tsa-coverage: allow(immutable after construction)
   int64_t lock_timeout_us_;
-  TimestampCache ts_cache_;
-  TimestampCache id_cache_;
+  TimestampCache ts_cache_;  // tsa-coverage: allow(internally synchronized)
+  TimestampCache id_cache_;  // tsa-coverage: allow(internally synchronized)
   // Path-cache leaf shared by both baseline engines.
   Mutex cache_mu_{"baseline.dentry", 45};
   std::map<std::string, std::pair<InodeId, InodeType>> dentry_cache_

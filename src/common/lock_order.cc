@@ -9,6 +9,9 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/common/race_detector.h"
+#include "src/common/simtime.h"
+
 // The tracker's own state is synchronized with raw std::mutex on purpose:
 // instrumenting it with cfs::Mutex would recurse into these hooks.
 
@@ -16,7 +19,7 @@ namespace cfs {
 namespace lock_order {
 namespace {
 
-constexpr size_t kMaxClasses = 256;
+constexpr size_t kMaxClasses = kMaxLockClasses;
 
 struct ClassInfo {
   std::string name;
@@ -94,11 +97,11 @@ void AtomicMax(std::atomic<int64_t>& slot, int64_t value) {
   }
 }
 
-int64_t NowNanos() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+// Hold-span timestamps: virtual task-clock nanoseconds under a driving
+// simtime::Scheduler, steady-clock nanoseconds otherwise — so the scope
+// accounting (and OnRpcEdge's per-bucket spans) measures simulated holds in
+// simulated time, identically across same-seed replays.
+int64_t NowNanos() { return simtime::NowNanosOrReal(); }
 
 // One held entry on a thread's stack. scope_only entries are logical
 // critical sections (e.g. row locks granted over RPC): they participate in
@@ -352,6 +355,9 @@ uint32_t RegisterClass(const char* name, int rank, RpcHoldPolicy policy,
 }
 
 void OnAcquire(uint32_t cls) {
+  // Preemption point: a blocking lock acquisition is where schedule choice
+  // decides who enters the critical section first (DESIGN.md §12).
+  simtime::FuzzPoint(simtime::FuzzKind::kLockAcquire);
   if (cls == 0 || !g_enabled.load(std::memory_order_relaxed)) return;
   ThreadState& t = State();
   uint64_t epoch = g_graph_epoch.load(std::memory_order_acquire);
@@ -426,6 +432,7 @@ void OnTryAcquired(uint32_t cls) {
 }
 
 void OnRelease(uint32_t cls) {
+  simtime::FuzzPoint(simtime::FuzzKind::kLockRelease);
   // Runs even while disabled so stacks stay balanced across a Disable()
   // that happened with locks held. Pops the most recent matching entry
   // (releases are LIFO everywhere in this codebase, but a linear scan keeps
@@ -436,10 +443,14 @@ void OnRelease(uint32_t cls) {
 void OnScopeEnter(uint32_t cls) {
   if (cls == 0 || !g_enabled.load(std::memory_order_relaxed)) return;
   PushHeld(cls, /*scope_only=*/true);
+  // Logical critical sections protect data too (a transaction's row locks
+  // guard the rows): feed them into the race detector's lockset.
+  race::OnLockAcquired(cls, race::LockMode::kExclusive);
 }
 
 void OnScopeExit(uint32_t cls) {
   PopHeld(cls, /*scope_only=*/true, "scope exit");
+  race::OnLockReleased(cls, race::LockMode::kExclusive);
 }
 
 void OnRpcEdge(const char* from_node, const char* to_node) {
@@ -511,6 +522,8 @@ std::vector<std::pair<std::string, int>> RegisteredClasses() {
   }
   return out;
 }
+
+std::string ClassName(uint32_t cls) { return InfoOf(cls).name; }
 
 std::vector<ClassScope> ScopeSnapshot() {
   std::vector<ClassInfo> classes;

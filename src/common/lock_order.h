@@ -73,6 +73,10 @@
 namespace cfs {
 namespace lock_order {
 
+// Upper bound on registered lock classes. Shared with the race detector
+// (src/common/race_detector.cc), whose locksets are bitsets over class ids.
+inline constexpr size_t kMaxLockClasses = 256;
+
 // How a lock class relates to network round trips (the paper's pruned
 // critical-section scope). kAllowedAcrossRpc requires a justification.
 enum class RpcHoldPolicy : uint8_t {
@@ -147,6 +151,10 @@ void SetViolationHandler(ViolationHandler handler);
 
 // The name/rank pairs of every class registered so far (diagnostics).
 std::vector<std::pair<std::string, int>> RegisteredClasses();
+
+// The registered name of class `cls` ("<unknown>" for 0/out-of-range).
+// Used by the race detector to report violations by lock-class name.
+std::string ClassName(uint32_t cls);
 
 // ---------------------------------------------------------------------------
 // Scope accounting snapshot

@@ -36,6 +36,45 @@
 namespace cfs {
 namespace simtime {
 
+// Preemption-point kinds for schedule fuzzing (FuzzPoint below).
+enum class FuzzKind : uint8_t {
+  kLockAcquire = 0,
+  kLockRelease = 1,
+  kRpcEdge = 2,
+  kWalFsync = 3,
+};
+inline constexpr size_t kNumFuzzKinds = 4;
+
+// PCT-inspired seeded schedule perturbation (DESIGN.md §12). Under the
+// run-to-completion accrual model there is no mid-task preemption to force;
+// what reorders interleavings is *when* each task's next event lands and
+// how same-time events tie-break. Fuzzing perturbs both, deterministically:
+//
+//   1. Every event pushed while fuzzing gets a priority drawn from a
+//      dedicated SplitMix64 stream; same-virtual-time events dispatch in
+//      priority order instead of FIFO (the priority-perturbation leg).
+//   2. At every instrumented preemption point — lock acquire/release
+//      (lock_order hooks), SimNet RPC edges, WAL fsync — FuzzPoint()
+//      accrues, with probability prob_pct, a random virtual delay in
+//      [1, max_perturb_us], sliding the running task's subsequent events
+//      (and thus every lock-acquisition race) across other tasks' slots.
+//
+// The fuzz stream is separate from the scheduler's main PRNG so a seed
+// sweep varies only the schedule, and identical (seed, fuzz seed) pairs
+// replay byte-identically. Env knobs (read once, at Scheduler
+// construction): CFS_SIM_FUZZ=1 enables, CFS_SIM_FUZZ_SEED (default:
+// derived from the scheduler seed), CFS_SIM_FUZZ_PROB_PCT (default 25),
+// CFS_SIM_FUZZ_MAX_US (default 50).
+struct FuzzOptions {
+  bool enabled = false;
+  uint64_t seed = 0;  // 0 = derive from the scheduler seed
+  uint32_t prob_pct = 25;
+  int64_t max_perturb_us = 50;
+
+  // Defaults overlaid with the CFS_SIM_FUZZ* environment knobs.
+  static FuzzOptions FromEnv();
+};
+
 class Scheduler {
  public:
   explicit Scheduler(uint64_t seed = 42);
@@ -75,6 +114,19 @@ class Scheduler {
   // virtual-mode components; consumed in dispatch order.
   uint64_t NextRand();
 
+  // Installs a schedule-fuzz configuration (overriding the env-derived one
+  // applied at construction). Affects events pushed from now on.
+  void SetFuzz(const FuzzOptions& fuzz);
+  const FuzzOptions& fuzz() const { return fuzz_; }
+
+  // Called by the instrumented preemption points via the free FuzzPoint();
+  // draws from the fuzz stream and maybe accrues a perturbation delay.
+  void FuzzPointHit(FuzzKind kind);
+  // Perturbations applied per kind (diagnostics / tests).
+  uint64_t fuzz_perturbations(FuzzKind kind) const {
+    return fuzz_hits_[static_cast<size_t>(kind)];
+  }
+
   uint64_t seed() const { return seed_; }
   uint64_t events_run() const { return events_run_; }
   size_t pending() const { return heap_.size(); }
@@ -82,12 +134,16 @@ class Scheduler {
  private:
   struct Event {
     int64_t t_us;
-    uint64_t seq;  // insertion order; breaks time ties FIFO
+    uint64_t pri;  // fuzzing: seeded draw; otherwise 0 (FIFO by seq)
+    uint64_t seq;  // insertion order; breaks time (and priority) ties FIFO
+    uint64_t race_token;  // race-detector HB token (0 when detector is off)
     std::function<void()> fn;
   };
   // std::push_heap/pop_heap max-heap comparator: "a after b".
   static bool Later(const Event& a, const Event& b) {
-    return a.t_us != b.t_us ? a.t_us > b.t_us : a.seq > b.seq;
+    if (a.t_us != b.t_us) return a.t_us > b.t_us;
+    if (a.pri != b.pri) return a.pri > b.pri;
+    return a.seq > b.seq;
   }
 
   std::vector<Event> heap_;
@@ -97,6 +153,9 @@ class Scheduler {
   uint64_t events_run_ = 0;
   uint64_t seed_;
   uint64_t rng_state_;
+  FuzzOptions fuzz_;
+  uint64_t fuzz_rng_state_ = 0;
+  uint64_t fuzz_hits_[kNumFuzzKinds] = {};
   bool running_ = false;
 };
 
@@ -113,6 +172,13 @@ int64_t NowNanosOrReal();
 // Charges `us` of modelled delay: accrues virtual time under a driving
 // scheduler, performs a real sleep otherwise.
 void AdvanceOrSleepUs(int64_t us);
+
+// Preemption point: forwards to the driving scheduler's FuzzPointHit when
+// there is one with fuzzing enabled; free otherwise (one TLS read).
+inline void FuzzPoint(FuzzKind kind) {
+  Scheduler* sched = Current();
+  if (sched != nullptr && sched->fuzz().enabled) sched->FuzzPointHit(kind);
+}
 
 // Clock facade over NowNanosOrReal, for components that take a Clock*
 // (e.g. the dentry cache's TTL checks must expire in virtual time during a

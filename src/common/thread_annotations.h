@@ -43,6 +43,16 @@
 #include <shared_mutex>
 
 #include "src/common/lock_order.h"
+#include "src/common/race_detector.h"
+
+// Race-detector lockset hooks (src/common/race_detector.h) ride on the
+// lock-order class ids, so they exist only when both CFS_LOCK_ORDER and
+// CFS_RACE_DETECT are on (CMake enforces the dependency).
+#if defined(CFS_LOCK_ORDER_TRACKING) && defined(CFS_RACE_DETECT_ENABLED)
+#define CFS_RACE_LOCK_HOOK_(call) ::cfs::race::call
+#else
+#define CFS_RACE_LOCK_HOOK_(call) ((void)0)
+#endif
 
 // ---------------------------------------------------------------------------
 // Annotation macros (abseil/LLVM style). No-ops outside clang.
@@ -122,9 +132,15 @@ class CAPABILITY("mutex") Mutex {
     lock_order::OnAcquire(order_class_);
 #endif
     mu_.lock();
+    CFS_RACE_LOCK_HOOK_(
+        OnLockAcquired(order_class_, race::LockMode::kExclusive));
   }
 
   void Unlock() RELEASE() {
+    // Race-detector hook first: the release→acquire happens-before edge
+    // must be published before another thread can win the lock.
+    CFS_RACE_LOCK_HOOK_(
+        OnLockReleased(order_class_, race::LockMode::kExclusive));
     mu_.unlock();
 #ifdef CFS_LOCK_ORDER_TRACKING
     lock_order::OnRelease(order_class_);
@@ -139,6 +155,8 @@ class CAPABILITY("mutex") Mutex {
     // acquisitions are checked against it.
     lock_order::OnTryAcquired(order_class_);
 #endif
+    CFS_RACE_LOCK_HOOK_(
+        OnLockAcquired(order_class_, race::LockMode::kExclusive));
     return true;
   }
 
@@ -147,6 +165,17 @@ class CAPABILITY("mutex") Mutex {
   void AssertHeld() const ASSERT_CAPABILITY(this) {
 #ifdef CFS_LOCK_ORDER_TRACKING
     lock_order::AssertHeld(order_class_);
+#endif
+  }
+
+  // This mutex's lock-order class id (0 when tracking is compiled out).
+  // The CFS_SHARED_READ/WRITE annotations use it to name the declared
+  // guard in race reports.
+  uint32_t order_class() const {
+#ifdef CFS_LOCK_ORDER_TRACKING
+    return order_class_;
+#else
+    return 0;
 #endif
   }
 
@@ -192,9 +221,13 @@ class CAPABILITY("shared_mutex") SharedMutex {
     lock_order::OnAcquire(order_class_);
 #endif
     mu_.lock();
+    CFS_RACE_LOCK_HOOK_(
+        OnLockAcquired(order_class_, race::LockMode::kExclusive));
   }
 
   void Unlock() RELEASE() {
+    CFS_RACE_LOCK_HOOK_(
+        OnLockReleased(order_class_, race::LockMode::kExclusive));
     mu_.unlock();
 #ifdef CFS_LOCK_ORDER_TRACKING
     lock_order::OnRelease(order_class_);
@@ -206,9 +239,11 @@ class CAPABILITY("shared_mutex") SharedMutex {
     lock_order::OnAcquire(order_class_);
 #endif
     mu_.lock_shared();
+    CFS_RACE_LOCK_HOOK_(OnLockAcquired(order_class_, race::LockMode::kShared));
   }
 
   void ReaderUnlock() RELEASE_SHARED() {
+    CFS_RACE_LOCK_HOOK_(OnLockReleased(order_class_, race::LockMode::kShared));
     mu_.unlock_shared();
 #ifdef CFS_LOCK_ORDER_TRACKING
     lock_order::OnRelease(order_class_);
@@ -220,12 +255,23 @@ class CAPABILITY("shared_mutex") SharedMutex {
 #ifdef CFS_LOCK_ORDER_TRACKING
     lock_order::OnTryAcquired(order_class_);
 #endif
+    CFS_RACE_LOCK_HOOK_(
+        OnLockAcquired(order_class_, race::LockMode::kExclusive));
     return true;
   }
 
   void AssertHeld() const ASSERT_CAPABILITY(this) {
 #ifdef CFS_LOCK_ORDER_TRACKING
     lock_order::AssertHeld(order_class_);
+#endif
+  }
+
+  // See Mutex::order_class().
+  uint32_t order_class() const {
+#ifdef CFS_LOCK_ORDER_TRACKING
+    return order_class_;
+#else
+    return 0;
 #endif
   }
 

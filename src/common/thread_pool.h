@@ -37,12 +37,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::string name_;
+  std::string name_;  // tsa-coverage: allow(immutable after construction)
   // Tasks themselves run with mu_ released (a task may acquire any lock).
   Mutex mu_{"pool.queue", 83};
   CondVar cv_;
   CondVar idle_cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  // Spawned in the constructor, joined only by Shutdown after shutdown_
+  // flips — joining under mu_ would deadlock against WorkerLoop.
+  // tsa-coverage: allow(start/stop lifecycle only)
   std::vector<std::thread> workers_;
   size_t active_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;

@@ -189,6 +189,8 @@ class TraceCollector {
   // Bumped once per finished op on the fast path; everything else only
   // moves when the sampling policy retains an op.
   std::atomic<uint64_t> ops_seen_{0};
+  // Written only by Configure (under mu_); the unlocked options() accessor
+  // is setup-time read-only. tsa-coverage: allow(configure-then-read)
   TraceOptions options_;
 
   mutable Mutex mu_{"trace.collector", 82};

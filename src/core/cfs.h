@@ -125,11 +125,18 @@ class Cfs {
   void BroadcastInvalidation(const CacheInvalidation& inv);
 
  private:
+  // Topology below is assembled in the constructor and Start() (single
+  // caller, before any concurrent use) and torn down by Stop().
+  // tsa-coverage: allow(immutable after construction)
   CfsOptions options_;
-  SimNet net_;
+  SimNet net_;  // tsa-coverage: allow(internally synchronized)
+  // tsa-coverage: allow(start/stop lifecycle only)
   std::unique_ptr<TafDbCluster> tafdb_;
+  // tsa-coverage: allow(start/stop lifecycle only)
   std::unique_ptr<FileStoreCluster> filestore_;
+  // tsa-coverage: allow(start/stop lifecycle only)
   std::unique_ptr<Renamer> renamer_;
+  // tsa-coverage: allow(start/stop lifecycle only)
   std::unique_ptr<GarbageCollector> gc_;
   // Guards the registry only; never held across the invalidation multicast
   // (never-across-rpc policy). Kept below simnet.* and dentry.* in rank for
@@ -140,11 +147,15 @@ class Cfs {
   // waits for this to drain before letting an engine die.
   int active_broadcasts_ GUARDED_BY(engines_mu_) = 0;
   CondVar engines_cv_;
+  // Filled by the constructor; const thereafter (RouteEngine only reads).
+  // tsa-coverage: allow(immutable after construction)
   std::vector<NodeId> proxy_nodes_;
+  // tsa-coverage: allow(immutable after construction)
   std::vector<std::unique_ptr<CfsEngine>> proxy_engines_;
   std::atomic<size_t> next_proxy_{0};
   std::atomic<uint32_t> next_client_server_{0};
-  bool started_ = false;
+  // Flipped only by Start()/Stop() (single lifecycle caller).
+  bool started_ = false;  // tsa-coverage: allow(start/stop lifecycle only)
 };
 
 // The metadata engine implementing every operation for all CfsOptions

@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "src/common/metrics.h"
+#include "src/common/race_detector.h"
 
 namespace cfs {
 namespace {
@@ -69,6 +70,7 @@ DentryCache::EpochShard& DentryCache::EpochShardFor(InodeId dir) const {
 bool DentryCache::ViewOf(InodeId dir, EpochView* out) const {
   EpochShard& shard = EpochShardFor(dir);
   MutexLock lock(shard.mu);
+  CFS_SHARED_READ(shard.views, shard.mu);
   auto it = shard.views.find(dir);
   if (it == shard.views.end()) return false;
   *out = it->second;
@@ -80,6 +82,7 @@ void DentryCache::ObserveDirEpoch(InodeId dir, uint64_t epoch) {
   int64_t now_us = clock_->NowMicros();
   EpochShard& shard = EpochShardFor(dir);
   MutexLock lock(shard.mu);
+  CFS_SHARED_WRITE(shard.views, shard.mu);
   EpochView& view = shard.views[dir];
   // A lower epoch is a reordered observation — keep the newer view but
   // still refresh the timestamp (the shard was reachable just now). The

@@ -66,7 +66,9 @@ class GarbageCollector {
   void ProcessDangling() REQUIRES(mu_);
   void DeleteAttrEverywhere(InodeId id);
 
-  Cfs* fs_;
+  Cfs* fs_;  // tsa-coverage: allow(immutable after construction)
+  // Spawned by Start, joined by Stop after running_ flips (single
+  // lifecycle caller). tsa-coverage: allow(start/stop lifecycle only)
   std::thread thread_;
   std::atomic<bool> running_{false};
   // Sleep/wake only; guards nothing (the predicate is the running_ atomic).

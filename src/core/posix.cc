@@ -2,6 +2,8 @@
 
 #include <cerrno>
 
+#include "src/common/race_detector.h"
+
 namespace cfs {
 
 int StatusToErrno(const Status& status) {
@@ -58,6 +60,7 @@ int PosixFs::Open(const std::string& path, int flags, uint32_t mode) {
     return StatusToErrno(info.status());
   }
   MutexLock lock(mu_);
+  CFS_SHARED_WRITE(open_files_, mu_);
   int fd = next_fd_++;
   open_files_[fd] = OpenFile{path, flags};
   return fd;
@@ -65,6 +68,7 @@ int PosixFs::Open(const std::string& path, int flags, uint32_t mode) {
 
 int PosixFs::Close(int fd) {
   MutexLock lock(mu_);
+  CFS_SHARED_WRITE(open_files_, mu_);
   return open_files_.erase(fd) != 0 ? 0 : -EBADF;
 }
 

@@ -77,6 +77,7 @@ class PosixFs {
     int flags = 0;
   };
 
+  // tsa-coverage: allow(immutable after construction)
   std::unique_ptr<MetadataClient> client_;
   // Fd-table leaf: released before any MetadataClient call.
   Mutex mu_{"posix.fdtable", 88};

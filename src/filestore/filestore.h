@@ -156,13 +156,17 @@ class FileStoreNode : public TxnParticipant {
   const FileStoreSm* LeaderSm() const;
   void ReadProcessingGate() const;
 
-  SimNet* net_;
-  std::string name_;
+  SimNet* net_;  // tsa-coverage: allow(immutable after construction)
+  std::string name_;  // tsa-coverage: allow(immutable after construction)
+  // tsa-coverage: allow(immutable after construction)
   FileStoreOptions options_;
+  // Built by Start() before any request is routed here.
+  // tsa-coverage: allow(start/stop lifecycle only)
   std::unique_ptr<RaftGroup> group_;
   // Leaf: released before any raft proposal.
   mutable Mutex staged_mu_{"filestore.staged", 61};
   std::map<TxnId, FileStoreCommand> staged_ GUARDED_BY(staged_mu_);
+  // tsa-coverage: allow(internally synchronized)
   mutable LoadGate read_gate_;
   std::atomic<uint64_t> request_seq_{1};
 };

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "src/common/encoding.h"
+#include "src/common/race_detector.h"
 
 namespace cfs {
 
@@ -96,8 +97,11 @@ Status KvStore::WriteLocked(const WriteBatch& batch, bool sync) {
   uint64_t seq = first_seq;
   size_t active_bytes = 0;
   {
-    // Apply under the version lock so structure swaps don't race.
+    // Apply under the version lock so structure swaps don't race. Note the
+    // split guard: version_mu_ protects the *pointer* (read here); memtable
+    // contents are serialized by write_mu_, which the caller holds.
     ReaderMutexLock vlock(version_mu_);
+    CFS_SHARED_READ(active_, version_mu_);
     for (const auto& op : batch.ops()) {
       active_->Add(op.key, op.value, seq++, op.type);
     }
@@ -108,6 +112,7 @@ Status KvStore::WriteLocked(const WriteBatch& batch, bool sync) {
   seq_.store(seq - 1, std::memory_order_release);
   {
     MutexLock slock(stats_mu_);
+    CFS_SHARED_WRITE(stats_, stats_mu_);
     for (const auto& op : batch.ops()) {
       if (op.type == ValueType::kPut) {
         stats_.puts++;
@@ -138,9 +143,11 @@ StatusOr<std::string> KvStore::Get(std::string_view key,
                                    uint64_t snapshot_seq) const {
   {
     MutexLock slock(stats_mu_);
+    CFS_SHARED_WRITE(stats_, stats_mu_);
     stats_.gets++;
   }
   ReaderMutexLock vlock(version_mu_);
+  CFS_SHARED_READ(active_, version_mu_);
   // Per key, source order equals recency order: active > immutables (newest
   // first) > runs (newest first).
   if (auto e = active_->Get(key, snapshot_seq)) {
@@ -171,9 +178,11 @@ std::vector<std::pair<std::string, std::string>> KvStore::Scan(
     uint64_t snapshot_seq) const {
   {
     MutexLock slock(stats_mu_);
+    CFS_SHARED_WRITE(stats_, stats_mu_);
     stats_.scans++;
   }
   ReaderMutexLock vlock(version_mu_);
+  CFS_SHARED_READ(active_, version_mu_);
   // Merge newest-wins per key across all sources.
   std::map<std::string, KvEntry, std::less<>> merged;
   auto absorb = [&](const KvEntry& e) {
@@ -231,6 +240,7 @@ Status KvStore::Flush() {
   std::shared_ptr<MemTable> sealed;
   {
     WriterMutexLock vlock(version_mu_);
+    CFS_SHARED_WRITE(active_, version_mu_);
     if (active_->EntryCount() == 0) return Status::Ok();
     sealed = active_;
     active_ = std::make_shared<MemTable>();
@@ -245,6 +255,7 @@ Status KvStore::Flush() {
   auto run = std::make_shared<SortedRun>(std::move(entries));
   {
     WriterMutexLock vlock(version_mu_);
+    CFS_SHARED_WRITE(runs_, version_mu_);
     runs_.insert(runs_.begin(), run);  // newest first
     immutable_.erase(std::remove(immutable_.begin(), immutable_.end(), sealed),
                      immutable_.end());
@@ -261,6 +272,7 @@ void KvStore::MaybeCompactLocked() {
   size_t nruns;
   {
     ReaderMutexLock vlock(version_mu_);
+    CFS_SHARED_READ(runs_, version_mu_);
     nruns = runs_.size();
   }
   if (nruns > options_.max_runs_before_compaction) {
@@ -272,6 +284,7 @@ Status KvStore::Compact() {
   std::vector<std::shared_ptr<SortedRun>> to_merge;
   {
     ReaderMutexLock vlock(version_mu_);
+    CFS_SHARED_READ(runs_, version_mu_);
     to_merge = runs_;
   }
   if (to_merge.size() < 2) return Status::Ok();
@@ -279,6 +292,7 @@ Status KvStore::Compact() {
   auto merged = SortedRun::Merge(to_merge, keep_seq, /*drop_tombstones=*/true);
   {
     WriterMutexLock vlock(version_mu_);
+    CFS_SHARED_WRITE(runs_, version_mu_);
     // Preserve any runs flushed while we merged (they are newer; prepend).
     std::vector<std::shared_ptr<SortedRun>> remaining;
     for (const auto& r : runs_) {
@@ -310,6 +324,7 @@ uint64_t KvStore::LastSequence() const {
 
 KvStore::Stats KvStore::stats() const {
   MutexLock lock(stats_mu_);
+  CFS_SHARED_READ(stats_, stats_mu_);
   return stats_;
 }
 

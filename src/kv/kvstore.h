@@ -114,8 +114,8 @@ class KvStore {
   Status WriteLocked(const WriteBatch& batch, bool sync) REQUIRES(write_mu_);
   uint64_t OldestSnapshotLocked() const;
 
-  KvOptions options_;
-  Wal wal_;
+  KvOptions options_;  // tsa-coverage: allow(immutable after construction)
+  Wal wal_;  // tsa-coverage: allow(internally synchronized)
 
   // Writer lock is the outermost KV lock: held across the WAL append and
   // the structure-list update, so it ranks below kv.version and wal.log.

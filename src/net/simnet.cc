@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/metrics.h"
+#include "src/common/race_detector.h"
 #include "src/common/simtime.h"
 
 namespace cfs {
@@ -70,6 +71,7 @@ size_t SimNet::NumNodes() const {
 
 void SimNet::SetNodeDown(NodeId node, bool down) {
   MutexLock lock(mu_);
+  CFS_SHARED_WRITE(down_nodes_, mu_);
   if (down) {
     down_nodes_.insert(node);
   } else {
@@ -99,6 +101,7 @@ void SimNet::HealAll() {
 Status SimNet::BeginCall(NodeId from, NodeId to, bool inject_latency) {
   if (has_faults_.load(std::memory_order_acquire)) {
     MutexLock lock(mu_);
+    CFS_SHARED_READ(down_nodes_, mu_);
     if (down_nodes_.count(to) != 0) {
       return Status::Unavailable("node down: " + nodes_[to].name);
     }
@@ -116,6 +119,9 @@ Status SimNet::BeginCall(NodeId from, NodeId to, bool inject_latency) {
   // is a never-across-rpc class.
   lock_order::OnRpcEdge(nodes_[from].name.c_str(), nodes_[to].name.c_str());
 #endif
+  // Preemption point for schedule fuzzing: an RPC edge is where a task's
+  // timing slides against its peers (DESIGN.md §12).
+  simtime::FuzzPoint(simtime::FuzzKind::kRpcEdge);
   int64_t injected_us = inject_latency ? InjectLatency(from, to) : 0;
   total_calls_.fetch_add(1, std::memory_order_relaxed);
   if (injected_us > 0) {
@@ -130,6 +136,7 @@ Status SimNet::BeginCall(NodeId from, NodeId to, bool inject_latency) {
   nodes_[to].calls->fetch_add(1, std::memory_order_relaxed);
   {
     MutexLock lock(edge_mu_);
+    CFS_SHARED_WRITE(edges_, edge_mu_);
     EdgeStat& edge = edges_[EdgeKey(from, to)];
     edge.calls++;
     edge.injected_us += injected_us;
@@ -153,6 +160,7 @@ size_t SimNet::Multicast(NodeId from, const std::vector<NodeId>& to,
     lock_order::OnRpcEdge(nodes_[from].name.c_str(),
                           nodes_[dest].name.c_str());
 #endif
+    simtime::FuzzPoint(simtime::FuzzKind::kRpcEdge);
     // The concurrent fan-out completes when the slowest call does: charge
     // one round trip of injected latency for the whole batch.
     int64_t injected_us = latency_injected ? 0 : InjectLatency(from, dest);
@@ -170,6 +178,7 @@ size_t SimNet::Multicast(NodeId from, const std::vector<NodeId>& to,
     nodes_[dest].calls->fetch_add(1, std::memory_order_relaxed);
     {
       MutexLock lock(edge_mu_);
+      CFS_SHARED_WRITE(edges_, edge_mu_);
       EdgeStat& edge = edges_[EdgeKey(from, dest)];
       edge.calls++;
       edge.injected_us += injected_us;
@@ -211,6 +220,7 @@ uint64_t SimNet::CallsTo(NodeId node) const {
 
 uint64_t SimNet::CallsBetween(NodeId from, NodeId to) const {
   MutexLock lock(edge_mu_);
+  CFS_SHARED_READ(edges_, edge_mu_);
   auto it = edges_.find(EdgeKey(from, to));
   return it == edges_.end() ? 0 : it->second.calls;
 }
@@ -222,6 +232,7 @@ int64_t SimNet::TotalInjectedLatencyUs() const {
 std::map<std::pair<NodeId, NodeId>, SimNet::EdgeStat> SimNet::EdgeStats()
     const {
   MutexLock lock(edge_mu_);
+  CFS_SHARED_READ(edges_, edge_mu_);
   std::map<std::pair<NodeId, NodeId>, EdgeStat> out;
   for (const auto& [key, stat] : edges_) {
     out[{static_cast<NodeId>(key >> 32), static_cast<NodeId>(key)}] = stat;

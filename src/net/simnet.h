@@ -170,10 +170,13 @@ class SimNet {
   // the Fig 10 sim sweep runs tens of thousands of them.
   static constexpr size_t kMaxNodes = 65536;
 
-  NetOptions options_;
+  NetOptions options_;  // tsa-coverage: allow(immutable after construction)
   // Serializes AddNode and guards the fault sets. RPC handlers run with no
   // SimNet lock held, so any service lock may be acquired "across" a call.
   mutable Mutex mu_{"simnet.node", 80};
+  // Fixed array; slots at index < num_nodes_ are published immutable by
+  // AddNode's release store (see comment there), so readers need no lock.
+  // tsa-coverage: allow(publish-then-immutable via num_nodes_ acq/rel)
   std::unique_ptr<Node[]> nodes_;
   std::atomic<size_t> num_nodes_{0};
   std::set<NodeId> down_nodes_ GUARDED_BY(mu_);

@@ -268,11 +268,13 @@ class RaftNode {
   const ReplicaId id_;
   const NodeId net_id_;
   SimNet* const net_;
-  StateMachine* sm_;
-  RaftOptions options_;
+  // Written by SetStateMachine under mu_; read only from Locked methods.
+  StateMachine* sm_ GUARDED_BY(mu_);
+  RaftOptions options_;  // tsa-coverage: allow(immutable after construction)
   const Clock* clock_;
-  Wal wal_;
-  Rng rng_;
+  Wal wal_;  // tsa-coverage: allow(internally synchronized)
+  // Election jitter; drawn only inside ResetElectionDeadlineLocked.
+  Rng rng_ GUARDED_BY(mu_);
 
   // Held across sm_->Apply (which may take shard/kv/wal locks) and across
   // WAL persists, so raft.node ranks below all of those; never held across
@@ -310,6 +312,7 @@ class RaftNode {
   // Started under mu_; joined (StopReplicators) only after
   // replicators_should_run_ goes false, from the single Stop() caller —
   // joining under mu_ would deadlock against loops that take it.
+  // tsa-coverage: allow(start/stop lifecycle only)
   std::vector<std::thread> replicators_;
   bool replicators_should_run_ GUARDED_BY(mu_) = false;
   std::atomic<bool> running_{false};

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/race_detector.h"
 #include "src/common/trace_event.h"
 
 namespace cfs {
@@ -177,6 +178,7 @@ Status Renamer::Rename(const RenameRequest& req) {
     if (!loop.ok()) return loop.status();
     if (*loop) {
       MutexLock lock(stats_mu_);
+      CFS_SHARED_WRITE(stats_, stats_mu_);
       stats_.loops_detected++;
       return Status::InvalidArgument("rename would orphan a directory loop");
     }
@@ -341,6 +343,7 @@ Status Renamer::Rename(const RenameRequest& req) {
   }
   {
     MutexLock lock(stats_mu_);
+    CFS_SHARED_WRITE(stats_, stats_mu_);
     if (commit_status.ok()) {
       stats_.committed++;
     } else {
@@ -380,6 +383,7 @@ Status Renamer::Rename(const RenameRequest& req) {
   if (broadcast_) {
     broadcast_(inv);
     MutexLock lock(stats_mu_);
+    CFS_SHARED_WRITE(stats_, stats_mu_);
     stats_.invalidations_broadcast++;
   }
 
@@ -394,6 +398,7 @@ Status Renamer::Rename(const RenameRequest& req) {
 
 Renamer::Stats Renamer::stats() const {
   MutexLock lock(stats_mu_);
+  CFS_SHARED_READ(stats_, stats_mu_);
   return stats_;
 }
 

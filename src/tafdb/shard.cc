@@ -3,6 +3,7 @@
 #include "src/common/encoding.h"
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/race_detector.h"
 
 namespace cfs {
 namespace {
@@ -280,12 +281,14 @@ StatusOr<std::vector<InodeRecord>> TafDbShard::ScanDir(
 
 uint64_t TafDbShard::DirEpoch(InodeId dir) const {
   ReaderMutexLock lock(epoch_mu_);
+  CFS_SHARED_READ(dir_epochs_, epoch_mu_);
   auto it = dir_epochs_.find(dir);
   return it == dir_epochs_.end() ? 0 : it->second;
 }
 
 uint64_t TafDbShard::BumpDirEpoch(InodeId dir) {
   WriterMutexLock lock(epoch_mu_);
+  CFS_SHARED_WRITE(dir_epochs_, epoch_mu_);
   return ++dir_epochs_[dir];
 }
 
@@ -297,6 +300,7 @@ PrimitiveResult TafDbShard::CommitLocal(const PrimitiveOp& write_set) {
 
 Status TafDbShard::Stage(TxnId txn, PrimitiveOp write_set) {
   MutexLock lock(staged_mu_);
+  CFS_SHARED_WRITE(staged_, staged_mu_);
   staged_[txn] = std::move(write_set);
   return Status::Ok();
 }
@@ -306,6 +310,7 @@ Status TafDbShard::Prepare(TxnId txn) {
   PrimitiveOp op;
   {
     MutexLock lock(staged_mu_);
+    CFS_SHARED_READ(staged_, staged_mu_);
     auto it = staged_.find(txn);
     if (it == staged_.end()) return Status::NotFound("nothing staged");
     op = it->second;
@@ -327,6 +332,7 @@ Status TafDbShard::Commit(TxnId txn) {
   Metrics().txn_commits->Add();
   {
     MutexLock lock(staged_mu_);
+    CFS_SHARED_WRITE(staged_, staged_mu_);
     staged_.erase(txn);
   }
   TxnWriteProcessingGate();
@@ -346,6 +352,7 @@ Status TafDbShard::Abort(TxnId txn) {
   bool had_staged;
   {
     MutexLock lock(staged_mu_);
+    CFS_SHARED_WRITE(staged_, staged_mu_);
     had_staged = staged_.erase(txn) > 0;
   }
   ShardCommand cmd;

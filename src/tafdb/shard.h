@@ -165,12 +165,14 @@ class TafDbShard : public TxnParticipant {
 
   void TxnWriteProcessingGate() const;
 
-  SimNet* net_;
-  std::string name_;
+  SimNet* net_;  // tsa-coverage: allow(immutable after construction)
+  std::string name_;  // tsa-coverage: allow(immutable after construction)
+  // Built by Start() before any request is routed here.
+  // tsa-coverage: allow(start/stop lifecycle only)
   std::unique_ptr<RaftGroup> group_;
-  LoadGate read_gate_;
-  LoadGate txn_write_gate_;
-  LockManager locks_;
+  LoadGate read_gate_;  // tsa-coverage: allow(internally synchronized)
+  LoadGate txn_write_gate_;  // tsa-coverage: allow(internally synchronized)
+  LockManager locks_;  // tsa-coverage: allow(internally synchronized)
   // Leaf: released before any raft proposal.
   Mutex staged_mu_{"tafdb.staged", 62};
   // Service-side buffer pre-Prepare.

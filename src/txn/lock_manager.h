@@ -112,6 +112,7 @@ class LockManager {
   void ScopeEnter();
   void ScopeExit();
 
+  // tsa-coverage: allow(immutable after construction)
   LockManagerOptions options_;
   const Clock* clock_;
 #ifdef CFS_LOCK_ORDER_TRACKING

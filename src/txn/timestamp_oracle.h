@@ -83,10 +83,11 @@ class TimestampCache {
   }
 
  private:
-  SimNet* net_;
-  NodeId self_;
+  SimNet* net_;  // tsa-coverage: allow(immutable after construction)
+  NodeId self_;  // tsa-coverage: allow(immutable after construction)
+  // tsa-coverage: allow(immutable after construction)
   TimestampOracle* oracle_;
-  uint64_t batch_;
+  uint64_t batch_;  // tsa-coverage: allow(immutable after construction)
   // Never held across the refill RPC (see Next): never-across-rpc policy.
   Mutex mu_{"txn.tscache", 30};
   uint64_t next_value_ GUARDED_BY(mu_) = 0;

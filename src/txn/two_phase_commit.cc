@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/common/metrics.h"
+#include "src/common/race_detector.h"
 #include "src/common/simtime.h"
 
 namespace cfs {
@@ -89,6 +90,7 @@ Status TwoPhaseCommit::Run(NodeId coordinator,
   }
   {
     MutexLock lock(mu_);
+    CFS_SHARED_WRITE(stats_, mu_);
     stats_.prepare_rpcs += unique.size();
   }
   Metrics().prepare_rpcs->Add(unique.size());
@@ -104,6 +106,7 @@ Status TwoPhaseCommit::Run(NodeId coordinator,
     }
     Metrics().committed->Add();
     MutexLock lock(mu_);
+    CFS_SHARED_WRITE(stats_, mu_);
     stats_.decision_rpcs += unique.size();
     stats_.committed++;
     return Status::Ok();
@@ -115,6 +118,7 @@ Status TwoPhaseCommit::Run(NodeId coordinator,
   Metrics().aborted->Add();
   {
     MutexLock lock(mu_);
+    CFS_SHARED_WRITE(stats_, mu_);
     stats_.decision_rpcs += unique.size();
     stats_.aborted++;
   }
@@ -123,6 +127,7 @@ Status TwoPhaseCommit::Run(NodeId coordinator,
 
 TwoPcStats TwoPhaseCommit::stats() const {
   MutexLock lock(mu_);
+  CFS_SHARED_READ(stats_, mu_);
   return stats_;
 }
 

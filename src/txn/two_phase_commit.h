@@ -52,7 +52,7 @@ class TwoPhaseCommit {
   TwoPcStats stats() const;
 
  private:
-  SimNet* net_;
+  SimNet* net_;  // tsa-coverage: allow(immutable after construction)
   // Stats-only leaf; never held across an RPC.
   mutable Mutex mu_{"twopc.stats", 86};
   TwoPcStats stats_ GUARDED_BY(mu_);

@@ -8,6 +8,7 @@
 #include "src/common/crc32.h"
 #include "src/common/encoding.h"
 #include "src/common/metrics.h"
+#include "src/common/race_detector.h"
 #include "src/common/simtime.h"
 
 namespace cfs {
@@ -54,6 +55,7 @@ StatusOr<uint64_t> Wal::Append(std::string_view record, bool sync) {
   uint64_t lsn;
   {
     MutexLock lock(mu_);
+    CFS_SHARED_WRITE(window_, mu_);
     lsn = next_lsn_++;
     window_.emplace_back(record);
     while (window_.size() > options_.memory_window) {
@@ -75,6 +77,9 @@ StatusOr<uint64_t> Wal::Append(std::string_view record, bool sync) {
   if (sync && options_.fsync_delay_us > 0) {
     TraceSpan span(Phase::kWalFsync);
     Metrics().fsync_us->Add(static_cast<uint64_t>(options_.fsync_delay_us));
+    // Preemption point for schedule fuzzing: the fsync yield is where a
+    // committing task's timing slides against concurrent committers.
+    simtime::FuzzPoint(simtime::FuzzKind::kWalFsync);
     simtime::AdvanceOrSleepUs(options_.fsync_delay_us);
   }
   return lsn;
@@ -141,6 +146,7 @@ Status Wal::Replay(
 std::vector<std::pair<uint64_t, std::string>> Wal::ReadFrom(
     uint64_t from_lsn, size_t max) const {
   MutexLock lock(mu_);
+  CFS_SHARED_READ(window_, mu_);
   std::vector<std::pair<uint64_t, std::string>> out;
   if (from_lsn < window_base_) from_lsn = window_base_;
   for (uint64_t lsn = from_lsn; lsn < next_lsn_ && out.size() < max; lsn++) {
@@ -161,6 +167,7 @@ uint64_t Wal::NextLsn() const {
 
 void Wal::TruncatePrefix(uint64_t up_to) {
   MutexLock lock(mu_);
+  CFS_SHARED_WRITE(window_, mu_);
   while (window_base_ < up_to && !window_.empty()) {
     window_.pop_front();
     window_base_++;

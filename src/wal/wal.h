@@ -87,7 +87,7 @@ class Wal {
  private:
   Status AppendToFileLocked(std::string_view record) REQUIRES(mu_);
 
-  WalOptions options_;
+  WalOptions options_;  // tsa-coverage: allow(immutable after construction)
   // Leaf within the write path: raft/kv append while holding their own
   // locks, so wal.log ranks above them; the simulated fsync sleep happens
   // with mu_ released.

@@ -16,6 +16,7 @@
 #include "src/common/lock_order.h"
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/simtime.h"
 #include "src/common/thread_annotations.h"
 
 namespace cfs {
@@ -315,6 +316,52 @@ TEST_F(LockOrderTest, DisabledTrackerRecordsNothing) {
     MutexLock la(a);
   }
   EXPECT_TRUE(violations_.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time leg: the tracker must behave identically when the locking
+// code runs inside simtime::Scheduler tasks, and its hold-span accounting
+// must read the *virtual* clock there (a lock held across AdvanceUs charges
+// the advanced microseconds, not the nanoseconds of wall time that passed).
+
+TEST_F(LockOrderTest, InversionDetectedInsideSchedulerTasks) {
+  Mutex a{"t.vt.inv.a", 0};
+  Mutex b{"t.vt.inv.b", 0};
+  simtime::Scheduler sched(7);
+  sched.At(0, [&] {
+    MutexLock la(a);
+    MutexLock lb(b);  // record a -> b
+  });
+  sched.At(10, [&] {
+    MutexLock lb(b);
+    MutexLock la(a);  // invert it
+  });
+  sched.RunUntil(100);
+  ASSERT_EQ(violations_.size(), 1u);
+  EXPECT_EQ(violations_[0].kind, Violation::Kind::kCycle);
+  EXPECT_EQ(violations_[0].acquiring, "t.vt.inv.a");
+  EXPECT_EQ(violations_[0].held, "t.vt.inv.b");
+}
+
+TEST_F(LockOrderTest, HoldSpansAccrueOnTheVirtualClock) {
+  Mutex mu{"t.vt.span", 0};
+  lock_order::ResetScopeStats();
+  simtime::Scheduler sched(7);
+  sched.At(0, [&] {
+    MutexLock lock(mu);
+    sched.AdvanceUs(1000);
+  });
+  sched.RunUntil(10'000);
+  for (const auto& scope : lock_order::ScopeSnapshot()) {
+    if (scope.name != "t.vt.span") continue;
+    EXPECT_EQ(scope.holds, 1u);
+    // The wall time spent inside the task is nanoseconds; only the virtual
+    // advance can account for a 1000us span.
+    EXPECT_GE(scope.total_hold_us, 1000);
+    EXPECT_LE(scope.total_hold_us, 1100);
+    return;
+  }
+  FAIL() << "class t.vt.span not found in ScopeSnapshot()";
 }
 
 TEST_F(LockOrderTest, ProductionRanksMatchDesignTable) {
